@@ -1,0 +1,46 @@
+package dagger_test
+
+import (
+	"testing"
+
+	"dagger/internal/core"
+	"dagger/internal/fabric"
+)
+
+// Small wrappers keeping the functional-stack benchmarks terse.
+
+func serverCfg() core.ServerConfig { return core.ServerConfig{} }
+
+type echoSrv struct{ s *core.RpcThreadedServer }
+
+func newEchoServer(tb testing.TB, nic *fabric.SoftNIC) *echoSrv {
+	tb.Helper()
+	s := core.NewRpcThreadedServer(nic, serverCfg())
+	if err := s.Register(0, "echo", func(req []byte) ([]byte, error) { return req, nil }); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	return &echoSrv{s: s}
+}
+
+func (e *echoSrv) stop() { e.s.Stop() }
+
+type benchClient struct{ rc *core.RpcClient }
+
+func newClient(tb testing.TB, nic *fabric.SoftNIC, dst uint32) *benchClient {
+	tb.Helper()
+	rc, err := core.NewRpcClient(nic, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := rc.OpenConnection(dst); err != nil {
+		rc.Close()
+		tb.Fatal(err)
+	}
+	return &benchClient{rc: rc}
+}
+
+func (c *benchClient) call(fn uint16, req []byte) ([]byte, error) { return c.rc.Call(fn, req) }
+func (c *benchClient) close()                                     { c.rc.Close() }

@@ -1,0 +1,58 @@
+// Command daggerbench regenerates the tables and figures of the Dagger
+// paper's evaluation (§5). Each experiment id corresponds to one table or
+// figure; `daggerbench -list` enumerates them and `daggerbench -run all`
+// reproduces the full evaluation.
+//
+// Usage:
+//
+//	daggerbench -run fig10          # one experiment
+//	daggerbench -run all            # everything
+//	daggerbench -run fig12 -quick   # 10x fewer requests, for smoke tests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dagger/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (or 'all')")
+	list := flag.Bool("list", false, "list experiment ids")
+	quick := flag.Bool("quick", false, "run with reduced request counts")
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Println("  ", id)
+		}
+		if *run == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		r, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "daggerbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", id)
+		if err := r(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "daggerbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,53 @@
+// Command daggergen is Dagger's IDL code generator (§4.2): it parses an
+// interface definition file and emits Go message codecs, typed client
+// stubs, and server dispatch glue over the core RPC API.
+//
+// Usage:
+//
+//	daggergen -in service.idl -pkg servicepb [-out servicepb.go]
+//
+// With no -out, generated code is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dagger/internal/idl"
+)
+
+func main() {
+	in := flag.String("in", "", "input IDL file (required)")
+	pkg := flag.String("pkg", "", "Go package name for generated code (required)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *in == "" || *pkg == "" {
+		fmt.Fprintln(os.Stderr, "usage: daggergen -in service.idl -pkg name [-out file.go]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	file, err := idl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	code := idl.Generate(file, *pkg)
+	if *out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(code), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "daggergen: wrote %s (%d messages, %d services)\n",
+		*out, len(file.Messages), len(file.Services))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daggergen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Command flightsim runs the Flight Registration timing model (§5.7) with
+// configurable threading model, load, and tracing — the tool behind Table 4
+// and Figure 15.
+//
+// Usage:
+//
+//	flightsim -threading optimized -load 25000 -requests 40000 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dagger/internal/flight"
+	"dagger/internal/trace"
+)
+
+func main() {
+	threading := flag.String("threading", "simple", "threading model: simple | optimized")
+	load := flag.Float64("load", 2000, "offered load, requests/second")
+	requests := flag.Int("requests", 40000, "requests to offer")
+	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker pool size (optimized; default 4)")
+	doTrace := flag.Bool("trace", false, "print the tracing system's bottleneck report")
+	flag.Parse()
+
+	var th flight.Threading
+	switch *threading {
+	case "simple":
+		th = flight.Simple
+	case "optimized":
+		th = flight.Optimized
+	default:
+		fmt.Fprintln(os.Stderr, "flightsim: -threading must be simple or optimized")
+		os.Exit(2)
+	}
+
+	var tr *trace.Collector
+	if *doTrace {
+		tr = trace.NewCollector(0)
+	}
+	res := flight.RunModel(flight.ModelConfig{
+		Threading: th, LoadRPS: *load, Requests: *requests,
+		Seed: *seed, Workers: *workers, Tracer: tr,
+	})
+
+	fmt.Printf("threading=%s load=%.0f rps offered=%d completed=%d dropped=%d (%.2f%%)\n",
+		th, *load, res.Offered, res.Completed, res.Dropped, 100*res.DropFrac())
+	fmt.Printf("latency: med=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n",
+		float64(res.Latency.Percentile(50))/1e3,
+		float64(res.Latency.Percentile(90))/1e3,
+		float64(res.Latency.Percentile(99))/1e3,
+		float64(res.Latency.Max())/1e3)
+	if tr != nil {
+		fmt.Print(tr.Analyze())
+	}
+}

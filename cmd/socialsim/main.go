@@ -1,0 +1,82 @@
+// Command socialsim runs the §3 microservice characterization: the Social
+// Network (or Media) call-graph under a configurable load, printing the
+// per-tier latency breakdown, the networking share of median/tail latency,
+// and the RPC size distribution — the data behind Figures 3-5.
+//
+// Usage:
+//
+//	socialsim -app social -qps 600 -requests 4000 -mode shared
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dagger/internal/microsim"
+	"dagger/internal/stats"
+)
+
+func main() {
+	app := flag.String("app", "social", "application: social | media")
+	qps := flag.Float64("qps", 400, "offered end-to-end load")
+	requests := flag.Int("requests", 4000, "requests to complete")
+	mode := flag.String("mode", "shared", "networking placement: shared | isolated")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	var g *microsim.Graph
+	switch *app {
+	case "social":
+		g = microsim.SocialNetwork()
+	case "media":
+		g = microsim.MediaServing()
+	default:
+		fmt.Fprintln(os.Stderr, "socialsim: -app must be social or media")
+		os.Exit(2)
+	}
+	var m microsim.Mode
+	switch *mode {
+	case "shared":
+		m = microsim.SharedCores
+	case "isolated":
+		m = microsim.IsolatedNetworking
+	default:
+		fmt.Fprintln(os.Stderr, "socialsim: -mode must be shared or isolated")
+		os.Exit(2)
+	}
+
+	res := microsim.Run(microsim.RunConfig{
+		Graph: g, QPS: *qps, Requests: *requests, Seed: *seed, Mode: m,
+	})
+
+	fmt.Printf("%s @ %.0f QPS (%s networking), %d requests\n\n", g.Name, *qps, m, res.Finished)
+	fmt.Printf("%-14s %10s %10s %10s %9s %9s\n", "tier", "med(us)", "p99(us)", "visits", "net@med", "net@p99")
+	names := make([]string, 0, len(res.PerTier))
+	for name := range res.PerTier {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := res.PerTier[name]
+		if ts.Total.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%-14s %10.0f %10.0f %10d %8.0f%% %8.0f%%\n", name,
+			float64(ts.Total.Percentile(50))/1e3,
+			float64(ts.Total.Percentile(99))/1e3,
+			ts.Total.Count(),
+			100*ts.NetFrac(50), 100*ts.NetFrac(99))
+	}
+	fmt.Printf("%-14s %10.0f %10.0f %10d %8.0f%% %8.0f%%\n", "end-to-end",
+		float64(res.E2E.Total.Percentile(50))/1e3,
+		float64(res.E2E.Total.Percentile(99))/1e3,
+		res.E2E.Total.Count(),
+		100*res.E2E.NetFrac(50), 100*res.E2E.NetFrac(99))
+
+	req := stats.NewCDF(res.AllReqSizes())
+	rsp := stats.NewCDF(res.AllRspSizes())
+	fmt.Printf("\nRPC sizes: requests P(<=512B)=%.2f median=%dB; responses P(<=64B)=%.2f median=%dB\n",
+		req.At(512), req.Quantile(0.5), rsp.At(64), rsp.Quantile(0.5))
+}

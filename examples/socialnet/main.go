@@ -1,0 +1,54 @@
+// Social Network example: the paper's motivating application (Figure 1)
+// running for real on the Dagger RPC stack — eleven tiers on one fabric,
+// with MICA-backed post storage and a memcached-backed user cache.
+//
+// Run with: go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dagger/internal/social"
+)
+
+func main() {
+	app, err := social.New(social.Config{Users: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	posts := []struct {
+		author, text string
+		media        []uint64
+	}{
+		{"user1", "shipping the Dagger reproduction today @user2", nil},
+		{"user2", "nice! details at https://dl.acm.org/doi/10.1145/3445814.3446696", nil},
+		{"user1", "offload the whole RPC stack @user2 @user3, photos attached", []uint64{101, 102}},
+	}
+	for _, p := range posts {
+		post, err := app.ComposePost(p.author, p.text, p.media)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("composed post %d by %s: mentions=%v urls=%v media=%d\n",
+			post.ID, post.Author, post.Mentions, post.URLs, len(post.MediaIDs))
+		for _, short := range post.URLs {
+			orig, _ := app.ResolveShortURL(short)
+			fmt.Printf("  %s -> %s\n", short, orig)
+		}
+	}
+
+	for _, user := range []string{"user1", "user2"} {
+		tl, err := app.ReadUserTimeline(user, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s timeline (%d posts):\n", user, len(tl))
+		for _, p := range tl {
+			fmt.Printf("  #%d %q\n", p.ID, p.Text)
+		}
+	}
+	fmt.Printf("stats: %d composed, %d timeline reads\n", app.Composed.Load(), app.Reads.Load())
+}

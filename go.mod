@@ -1,0 +1,3 @@
+module dagger
+
+go 1.22

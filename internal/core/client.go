@@ -1,0 +1,328 @@
+// Package core implements Dagger's RPC programming model (§4.2): RpcClient
+// and RpcClientPool on the client side, RpcThreadedServer with
+// RpcServerThread dispatch loops on the server side, CompletionQueue for
+// asynchronous calls, and both dispatch-thread and worker-thread request
+// processing. The API follows the paper's Thrift-/Protobuf-inspired design;
+// typed stubs over it are produced by the IDL code generator
+// (internal/idl, cmd/daggergen).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dagger/internal/fabric"
+	"dagger/internal/wire"
+)
+
+// Errors returned by the RPC layer.
+var (
+	ErrTimeout     = errors.New("core: rpc timed out")
+	ErrClientClose = errors.New("core: client closed")
+	ErrRemote      = errors.New("core: remote handler error")
+	ErrNoFn        = errors.New("core: no such remote function")
+)
+
+// DefaultTimeout bounds synchronous calls so a lost best-effort frame
+// cannot hang a dispatch thread forever.
+const DefaultTimeout = 5 * time.Second
+
+// call tracks one in-flight RPC.
+type call struct {
+	done chan struct{}
+	cb   func([]byte, error)
+	resp []byte
+	err  error
+}
+
+// RpcClient issues RPCs over one NIC flow (its RX/TX ring pair, Figure 7).
+// A client may hold several open connections; they share the ring (the SRQ
+// model, §4.2), so Send is internally synchronized.
+type RpcClient struct {
+	nic    *fabric.SoftNIC
+	flowID uint16
+	flow   *fabric.Flow
+
+	cq      *CompletionQueue
+	timeout time.Duration
+
+	mu      sync.Mutex
+	conns   map[uint32]uint32 // connID -> destination address
+	nextRPC uint64
+	pending map[uint64]*call
+
+	defaultConn uint32
+	hasConn     bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	recvWG   sync.WaitGroup
+
+	// Counters.
+	Issued    atomic.Uint64
+	Completed atomic.Uint64
+	TimedOut  atomic.Uint64
+}
+
+// NewRpcClient binds a client to flow flowID of nic. Each flow should back
+// at most one client (1:1 flow-to-ring mapping); this is the caller's
+// contract, normally managed by RpcClientPool.
+func NewRpcClient(nic *fabric.SoftNIC, flowID int) (*RpcClient, error) {
+	fl, err := nic.Flow(flowID)
+	if err != nil {
+		return nil, err
+	}
+	c := &RpcClient{
+		nic:     nic,
+		flowID:  uint16(flowID),
+		flow:    fl,
+		cq:      NewCompletionQueue(),
+		timeout: DefaultTimeout,
+		conns:   make(map[uint32]uint32),
+		pending: make(map[uint64]*call),
+		stop:    make(chan struct{}),
+	}
+	c.recvWG.Add(1)
+	go c.recvLoop()
+	return c, nil
+}
+
+// SetTimeout overrides the synchronous call timeout (0 disables it).
+func (c *RpcClient) SetTimeout(d time.Duration) { c.timeout = d }
+
+// CompletionQueue returns the client's completion queue.
+func (c *RpcClient) CompletionQueue() *CompletionQueue { return c.cq }
+
+// FlowID returns the NIC flow this client owns.
+func (c *RpcClient) FlowID() uint16 { return c.flowID }
+
+// OpenConnection registers a connection to a destination address and
+// returns its connection ID. The first opened connection becomes the
+// default for Call/CallAsync.
+func (c *RpcClient) OpenConnection(dstAddr uint32) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := uint32(len(c.conns) + 1)
+	id = id<<8 | uint32(c.flowID) // keep ids unique across a NIC's clients
+	for {
+		if _, dup := c.conns[id]; !dup {
+			break
+		}
+		id += 256
+	}
+	c.conns[id] = dstAddr
+	if !c.hasConn {
+		c.defaultConn = id
+		c.hasConn = true
+	}
+	return id, nil
+}
+
+// CloseConnection removes a connection.
+func (c *RpcClient) CloseConnection(id uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.conns[id]; !ok {
+		return fmt.Errorf("core: connection %d not open", id)
+	}
+	delete(c.conns, id)
+	if c.defaultConn == id {
+		c.hasConn = false
+		for rest := range c.conns {
+			c.defaultConn = rest
+			c.hasConn = true
+			break
+		}
+	}
+	return nil
+}
+
+// Call issues a blocking RPC on the default connection.
+func (c *RpcClient) Call(fnID uint16, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	conn := c.defaultConn
+	ok := c.hasConn
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no open connection")
+	}
+	return c.CallConn(conn, fnID, req)
+}
+
+// CallConn issues a blocking RPC on a specific connection.
+func (c *RpcClient) CallConn(connID uint32, fnID uint16, req []byte) ([]byte, error) {
+	cl, err := c.issue(connID, fnID, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.timeout > 0 {
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		select {
+		case <-cl.done:
+		case <-t.C:
+			c.abandon(cl)
+			c.TimedOut.Add(1)
+			return nil, ErrTimeout
+		case <-c.stop:
+			return nil, ErrClientClose
+		}
+	} else {
+		select {
+		case <-cl.done:
+		case <-c.stop:
+			return nil, ErrClientClose
+		}
+	}
+	return cl.resp, cl.err
+}
+
+// CallAsync issues a non-blocking RPC on the default connection; cb runs on
+// the client's receive path when the response (or failure) arrives, after
+// being accumulated in the CompletionQueue.
+func (c *RpcClient) CallAsync(fnID uint16, req []byte, cb func([]byte, error)) error {
+	c.mu.Lock()
+	conn := c.defaultConn
+	ok := c.hasConn
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no open connection")
+	}
+	return c.CallConnAsync(conn, fnID, req, cb)
+}
+
+// CallConnAsync issues a non-blocking RPC on a specific connection.
+func (c *RpcClient) CallConnAsync(connID uint32, fnID uint16, req []byte, cb func([]byte, error)) error {
+	_, err := c.issue(connID, fnID, req, cb)
+	return err
+}
+
+func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, cb func([]byte, error)) (*call, error) {
+	select {
+	case <-c.stop:
+		return nil, ErrClientClose
+	default:
+	}
+	c.mu.Lock()
+	dst, ok := c.conns[connID]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: connection %d not open", connID)
+	}
+	c.nextRPC++
+	id := c.nextRPC
+	cl := &call{cb: cb}
+	if cb == nil {
+		cl.done = make(chan struct{})
+	}
+	c.pending[id] = cl
+	c.mu.Unlock()
+
+	m := &wire.Message{
+		Header: wire.Header{
+			Kind:    wire.KindRequest,
+			ConnID:  connID,
+			RPCID:   id,
+			FlowID:  c.flowID,
+			FnID:    fnID,
+			SrcAddr: c.nic.Addr(),
+			DstAddr: dst,
+		},
+		Payload: req,
+	}
+	if err := c.nic.Send(m); err != nil {
+		c.abandon(cl)
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.Issued.Add(1)
+	return cl, nil
+}
+
+func (c *RpcClient) abandon(target *call) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, cl := range c.pending {
+		if cl == target {
+			delete(c.pending, id)
+			return
+		}
+	}
+}
+
+// recvLoop is the client's receive path: it drains the flow's RX ring,
+// reassembles multi-line RPCs in software (§4.7: the interconnect's MTU is
+// one cache line), matches responses to pending calls, and completes them
+// through the CompletionQueue.
+func (c *RpcClient) recvLoop() {
+	defer c.recvWG.Done()
+	ras := wire.NewReassembler()
+	for {
+		frame, ok := c.flow.RecvResponse(c.stop)
+		if !ok {
+			return
+		}
+		m, ok, err := reassemble(ras, c.flowID, frame)
+		if err != nil || !ok || m.Kind != wire.KindResponse {
+			continue
+		}
+		c.mu.Lock()
+		cl, ok := c.pending[m.RPCID]
+		if ok {
+			delete(c.pending, m.RPCID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // late response after timeout
+		}
+		var resp []byte
+		var rerr error
+		if m.Flags&flagError != 0 {
+			rerr = fmt.Errorf("%w: %s", ErrRemote, string(m.Payload))
+		} else {
+			resp = append([]byte(nil), m.Payload...)
+		}
+		c.Completed.Add(1)
+		c.cq.complete(completion{RPCID: m.RPCID, FnID: m.FnID, Resp: resp, Err: rerr})
+		if cl.cb != nil {
+			cl.cb(resp, rerr)
+		}
+		if cl.done != nil {
+			cl.resp, cl.err = resp, rerr
+			close(cl.done)
+		}
+	}
+}
+
+// Close shuts the client down; in-flight synchronous calls return
+// ErrClientClose.
+func (c *RpcClient) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.recvWG.Wait()
+}
+
+// flagError marks a response carrying a handler error string.
+const flagError = 0x1
+
+// reassemble feeds one delivered frame's cache lines through the software
+// reassembler, returning the completed message if the frame's last line
+// finishes an RPC.
+func reassemble(ras *wire.Reassembler, flowID uint16, frame []byte) (wire.Message, bool, error) {
+	var (
+		m    wire.Message
+		done bool
+		err  error
+	)
+	for off := 0; off+wire.CacheLineSize <= len(frame); off += wire.CacheLineSize {
+		m, done, err = ras.AddLine(flowID, frame[off:off+wire.CacheLineSize])
+		if err != nil {
+			return wire.Message{}, false, err
+		}
+	}
+	return m, done, nil
+}

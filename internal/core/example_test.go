@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"dagger/internal/core"
+	"dagger/internal/fabric"
+)
+
+// Example demonstrates the §4.2 programming model: a server registering a
+// remote procedure and a client calling it synchronously.
+func Example() {
+	fab := fabric.NewFabric()
+	serverNIC, err := fab.CreateNIC(2, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clientNIC, err := fab.CreateNIC(1, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := core.NewRpcThreadedServer(serverNIC, core.ServerConfig{})
+	if err := srv.Register(0, "greeter.hello", func(req []byte) ([]byte, error) {
+		return append([]byte("hello, "), req...), nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	cli, err := core.NewRpcClient(clientNIC, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.OpenConnection(2); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := cli.Call(0, []byte("dagger"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(resp))
+	// Output: hello, dagger
+}
+
+// ExampleRpcClient_CallAsync shows a non-blocking call completed through
+// the client's CompletionQueue callback.
+func ExampleRpcClient_CallAsync() {
+	fab := fabric.NewFabric()
+	serverNIC, _ := fab.CreateNIC(2, 1, 0)
+	clientNIC, _ := fab.CreateNIC(1, 1, 0)
+	srv := core.NewRpcThreadedServer(serverNIC, core.ServerConfig{})
+	_ = srv.Register(0, "echo", func(req []byte) ([]byte, error) { return req, nil })
+	_ = srv.Start()
+	defer srv.Stop()
+	cli, _ := core.NewRpcClient(clientNIC, 0)
+	defer cli.Close()
+	_, _ = cli.OpenConnection(2)
+
+	done := make(chan struct{})
+	_ = cli.CallAsync(0, []byte("async"), func(resp []byte, err error) {
+		fmt.Println(string(resp), err)
+		close(done)
+	})
+	<-done
+	// Output: async <nil>
+}

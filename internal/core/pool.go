@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"dagger/internal/fabric"
+)
+
+// RpcClientPool encapsulates a pool of RpcClients that concurrently call
+// remote procedures (§4.2). Each pooled client owns one NIC flow, giving
+// lock-free per-client rings; the pool hands clients to application threads
+// 1:1.
+type RpcClientPool struct {
+	clients []*RpcClient
+}
+
+// NewRpcClientPool creates size clients over flows [0, size) of nic.
+func NewRpcClientPool(nic *fabric.SoftNIC, size int) (*RpcClientPool, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: pool size must be positive")
+	}
+	if size > nic.NumFlows() {
+		return nil, fmt.Errorf("core: pool size %d exceeds NIC flows %d", size, nic.NumFlows())
+	}
+	p := &RpcClientPool{}
+	for i := 0; i < size; i++ {
+		c, err := NewRpcClient(nic, i)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Size returns the number of clients.
+func (p *RpcClientPool) Size() int { return len(p.clients) }
+
+// Client returns client i.
+func (p *RpcClientPool) Client(i int) *RpcClient { return p.clients[i] }
+
+// ConnectAll opens a connection to dst on every client and returns the
+// connection ids, index-aligned with the clients.
+func (p *RpcClientPool) ConnectAll(dst uint32) ([]uint32, error) {
+	ids := make([]uint32, len(p.clients))
+	for i, c := range p.clients {
+		id, err := c.OpenConnection(dst)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// Close shuts down all clients.
+func (p *RpcClientPool) Close() {
+	for _, c := range p.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dagger/internal/fabric"
+	"dagger/internal/sim"
+	"dagger/internal/trace"
+	"dagger/internal/wire"
+)
+
+// ThreadingModel selects where RPC handlers run (§4.2, §5.7).
+type ThreadingModel int
+
+// Threading models.
+const (
+	// DispatchThreads runs handlers directly in the per-flow dispatch
+	// thread (FaRM-style, lowest latency; long handlers block the flow's
+	// RX ring).
+	DispatchThreads ThreadingModel = iota
+	// WorkerThreads hands requests from dispatch threads to a worker pool
+	// (higher throughput for long-running handlers, extra queueing
+	// latency). This is the paper's "Optimized" model for the Flight
+	// service's heavyweight tiers.
+	WorkerThreads
+)
+
+func (m ThreadingModel) String() string {
+	if m == WorkerThreads {
+		return "worker"
+	}
+	return "dispatch"
+}
+
+// Handler processes one request payload and returns the response payload.
+type Handler func(req []byte) ([]byte, error)
+
+// ServerConfig configures an RpcThreadedServer.
+type ServerConfig struct {
+	// Threading selects dispatch- or worker-thread processing.
+	Threading ThreadingModel
+	// Workers sizes the worker pool (WorkerThreads only; default 4).
+	Workers int
+	// WorkerQueue bounds the dispatch->worker queue (default 1024).
+	WorkerQueue int
+}
+
+// RpcServerThread is one server event loop bound to one NIC flow: the
+// dispatch thread of Figure 7.
+type RpcServerThread struct {
+	srv    *RpcThreadedServer
+	flowID uint16
+	flow   *fabric.Flow
+
+	Processed atomic.Uint64
+}
+
+// RpcThreadedServer owns a NIC's server side: a dispatch thread per flow
+// and a registry of remote procedures.
+type RpcThreadedServer struct {
+	nic *fabric.SoftNIC
+	cfg ServerConfig
+
+	mu       sync.RWMutex
+	handlers map[uint16]Handler
+	names    map[uint16]string
+
+	threads []*RpcServerThread
+	work    chan workItem
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	tracer  *trace.Collector
+	start   time.Time
+
+	Handled atomic.Uint64
+	Errors  atomic.Uint64
+}
+
+type workItem struct {
+	t        *RpcServerThread
+	m        wire.Message
+	received time.Time
+}
+
+// NewRpcThreadedServer creates a server over all flows of nic.
+func NewRpcThreadedServer(nic *fabric.SoftNIC, cfg ServerConfig) *RpcThreadedServer {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.WorkerQueue <= 0 {
+		cfg.WorkerQueue = 1024
+	}
+	s := &RpcThreadedServer{
+		nic:      nic,
+		cfg:      cfg,
+		handlers: make(map[uint16]Handler),
+		names:    make(map[uint16]string),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < nic.NumFlows(); i++ {
+		fl, _ := nic.Flow(i)
+		s.threads = append(s.threads, &RpcServerThread{srv: s, flowID: uint16(i), flow: fl})
+	}
+	return s
+}
+
+// Register binds fnID to a handler. Registration must precede Start.
+func (s *RpcThreadedServer) Register(fnID uint16, name string, h Handler) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("core: register after start")
+	}
+	if _, dup := s.handlers[fnID]; dup {
+		return fmt.Errorf("core: function %d already registered", fnID)
+	}
+	s.handlers[fnID] = h
+	s.names[fnID] = name
+	return nil
+}
+
+// SetTracer attaches the lightweight request tracing system (§5.7): every
+// handled request records a span (service = registered function name, queue
+// = dispatch-to-execution wait, work = handler time). Must be called before
+// Start.
+func (s *RpcThreadedServer) SetTracer(c *trace.Collector) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("core: set tracer after start")
+	}
+	s.tracer = c
+	return nil
+}
+
+// FunctionName returns the registered name for a function id.
+func (s *RpcThreadedServer) FunctionName(fnID uint16) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.names[fnID]
+}
+
+// Threads returns the server's dispatch threads.
+func (s *RpcThreadedServer) Threads() []*RpcServerThread { return s.threads }
+
+// Start launches dispatch threads (and the worker pool if configured).
+func (s *RpcThreadedServer) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("core: server already started")
+	}
+	s.started = true
+	s.start = time.Now()
+	s.mu.Unlock()
+
+	if s.cfg.Threading == WorkerThreads {
+		s.work = make(chan workItem, s.cfg.WorkerQueue)
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.workerLoop()
+		}
+	}
+	for _, t := range s.threads {
+		s.wg.Add(1)
+		go s.dispatchLoop(t)
+	}
+	return nil
+}
+
+// Stop shuts down all threads and waits for them.
+func (s *RpcThreadedServer) Stop() {
+	select {
+	case <-s.stop:
+		return
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+func (s *RpcThreadedServer) dispatchLoop(t *RpcServerThread) {
+	defer s.wg.Done()
+	ras := wire.NewReassembler()
+	for {
+		frame, ok := t.flow.Recv(s.stop)
+		if !ok {
+			return
+		}
+		m, ok, err := reassemble(ras, t.flowID, frame)
+		if err != nil || !ok || m.Kind != wire.KindRequest {
+			continue
+		}
+		if s.cfg.Threading == WorkerThreads {
+			select {
+			case s.work <- workItem{t: t, m: m, received: time.Now()}:
+			case <-s.stop:
+				return
+			}
+			continue
+		}
+		s.process(t, m, time.Now())
+	}
+}
+
+func (s *RpcThreadedServer) workerLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case item := <-s.work:
+			s.process(item.t, item.m, item.received)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received time.Time) {
+	s.mu.RLock()
+	h, ok := s.handlers[m.FnID]
+	name := s.names[m.FnID]
+	tracer := s.tracer
+	s.mu.RUnlock()
+	execStart := time.Now()
+
+	resp := wire.Message{
+		Header: wire.Header{
+			Kind:    wire.KindResponse,
+			ConnID:  m.ConnID,
+			RPCID:   m.RPCID,
+			FlowID:  m.FlowID, // steer back to the requester's flow
+			FnID:    m.FnID,
+			SrcAddr: s.nic.Addr(),
+			DstAddr: m.SrcAddr,
+		},
+	}
+	if !ok {
+		resp.Flags = flagError
+		resp.Payload = []byte(ErrNoFn.Error())
+		s.Errors.Add(1)
+	} else if out, err := h(m.Payload); err != nil {
+		resp.Flags = flagError
+		resp.Payload = []byte(err.Error())
+		s.Errors.Add(1)
+	} else {
+		resp.Payload = out
+	}
+	t.Processed.Add(1)
+	s.Handled.Add(1)
+	// Best-effort: a full client ring drops the response, mirroring the
+	// paper's lossy transport.
+	_ = s.nic.Send(&resp)
+
+	if tracer != nil {
+		if name == "" {
+			name = fmt.Sprintf("fn-%d", m.FnID)
+		}
+		id := tracer.Begin()
+		tracer.Record(id, trace.Span{
+			Service: name,
+			Start:   sim.Time(received.Sub(s.start)),
+			Queue:   sim.Time(execStart.Sub(received)),
+			Work:    sim.Time(time.Since(execStart)),
+			End:     sim.Time(time.Since(s.start)),
+		})
+	}
+}

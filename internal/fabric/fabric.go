@@ -1,0 +1,380 @@
+// Package fabric is the functional (real-goroutine) counterpart of the
+// hardware Dagger NIC: an in-process acceleration fabric that the core RPC
+// API drives exactly as the paper's software stack drives the FPGA. Each
+// endpoint gets a SoftNIC with per-flow RX rings (lock-free, one ring per
+// flow as in Figure 7); a Fabric routes frames between NICs the way the
+// paper's loopback network and ToR switch model do between NIC instances on
+// the FPGA.
+//
+// The SoftNIC performs the work the paper offloads to hardware — framing,
+// connection lookup, response steering, load balancing across server flows —
+// so the software above it (internal/core) stays as thin as the paper's
+// host stack: write an RPC object to a ring, read completions from a ring.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dagger/internal/ringbuf"
+	"dagger/internal/wire"
+)
+
+// Errors returned by fabric operations.
+var (
+	ErrNoRoute    = errors.New("fabric: no NIC at destination address")
+	ErrFlowRange  = errors.New("fabric: flow index out of range")
+	ErrClosed     = errors.New("fabric: NIC closed")
+	ErrRingFull   = errors.New("fabric: destination ring full")
+	ErrDupAddress = errors.New("fabric: address already in use")
+)
+
+// Balancer mirrors nicmodel's steering schemes for the functional stack.
+type Balancer int
+
+// Steering schemes for incoming requests.
+const (
+	// BalanceStatic pins each connection to the flow assigned at connect
+	// time.
+	BalanceStatic Balancer = iota
+	// BalanceUniform round-robins incoming requests over flows.
+	BalanceUniform
+	// BalanceObjectLevel hashes a key extracted from the payload, giving
+	// MICA-style object-to-core affinity.
+	BalanceObjectLevel
+)
+
+// KeyExtractor pulls the steering key out of a request payload for
+// object-level balancing. Registered per NIC by the application (the paper
+// instantiates an application-specific balancer inside the NICs serving
+// MICA tiers, §5.7).
+type KeyExtractor func(payload []byte) []byte
+
+// Flow is one NIC flow. Dagger's stack is symmetric — the same NIC serves
+// both RPC clients and servers, with frames distinguished by the request
+// type field (§4.4) — so each flow carries two RX rings: inbound requests
+// (consumed by the server dispatch thread) and inbound responses (consumed
+// by the RpcClient's receive path). Each ring has a wake channel so
+// receivers need not spin.
+type Flow struct {
+	req     *ringbuf.Ring[[]byte]
+	resp    *ringbuf.Ring[[]byte]
+	reqWake chan struct{}
+	rspWake chan struct{}
+	dropped atomic.Uint64
+}
+
+func newFlow(depth int) *Flow {
+	return &Flow{
+		req:     ringbuf.New[[]byte](depth),
+		resp:    ringbuf.New[[]byte](depth),
+		reqWake: make(chan struct{}, 1),
+		rspWake: make(chan struct{}, 1),
+	}
+}
+
+func (f *Flow) deliver(frame []byte, isResponse bool) bool {
+	ring, wake := f.req, f.reqWake
+	if isResponse {
+		ring, wake = f.resp, f.rspWake
+	}
+	if !ring.Push(frame) {
+		f.dropped.Add(1)
+		return false
+	}
+	select {
+	case wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func recvFrom(ring *ringbuf.Ring[[]byte], wake chan struct{}, stop <-chan struct{}) ([]byte, bool) {
+	for {
+		if frame, ok := ring.Pop(); ok {
+			return frame, true
+		}
+		select {
+		case <-wake:
+		case <-stop:
+			// Drain anything that raced in before reporting closure.
+			if frame, ok := ring.Pop(); ok {
+				return frame, true
+			}
+			return nil, false
+		}
+	}
+}
+
+// Recv returns the next inbound request frame, blocking until one arrives
+// or stop closes. ok=false means the NIC (or caller) shut down.
+func (f *Flow) Recv(stop <-chan struct{}) ([]byte, bool) {
+	return recvFrom(f.req, f.reqWake, stop)
+}
+
+// RecvResponse returns the next inbound response frame, blocking until one
+// arrives or stop closes.
+func (f *Flow) RecvResponse(stop <-chan struct{}) ([]byte, bool) {
+	return recvFrom(f.resp, f.rspWake, stop)
+}
+
+// TryRecv returns an inbound frame without blocking, preferring requests.
+func (f *Flow) TryRecv() ([]byte, bool) {
+	if frame, ok := f.req.Pop(); ok {
+		return frame, true
+	}
+	return f.resp.Pop()
+}
+
+// Dropped returns the number of frames dropped at this flow's rings.
+func (f *Flow) Dropped() uint64 { return f.dropped.Load() }
+
+// connKey identifies a connection across the fabric.
+type connKey struct {
+	src uint32
+	id  uint32
+}
+
+// SoftNIC is one endpoint's software NIC instance.
+type SoftNIC struct {
+	addr   uint32
+	fab    *Fabric
+	flows  []*Flow
+	closed atomic.Bool
+
+	rr atomic.Uint32
+
+	mu        sync.RWMutex
+	balancer  Balancer
+	extractor KeyExtractor
+	conns     map[connKey]uint16 // connection -> assigned local flow
+
+	// Monitor counters (the packet monitor block).
+	RPCsIn   atomic.Uint64
+	RPCsOut  atomic.Uint64
+	BytesIn  atomic.Uint64
+	BytesOut atomic.Uint64
+	Drops    atomic.Uint64
+}
+
+// Addr returns the NIC's fabric address.
+func (n *SoftNIC) Addr() uint32 { return n.addr }
+
+// NumFlows returns the flow count (hard configuration).
+func (n *SoftNIC) NumFlows() int { return len(n.flows) }
+
+// Flow returns flow i's receive side.
+func (n *SoftNIC) Flow(i int) (*Flow, error) {
+	if i < 0 || i >= len(n.flows) {
+		return nil, ErrFlowRange
+	}
+	return n.flows[i], nil
+}
+
+// SetBalancer selects the steering scheme for incoming requests
+// (soft configuration). The extractor is required for object-level
+// balancing.
+func (n *SoftNIC) SetBalancer(b Balancer, ex KeyExtractor) error {
+	if b == BalanceObjectLevel && ex == nil {
+		return fmt.Errorf("fabric: object-level balancer needs a key extractor")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.balancer = b
+	n.extractor = ex
+	return nil
+}
+
+// Close shuts the NIC down and removes it from the fabric.
+func (n *SoftNIC) Close() {
+	if n.closed.Swap(true) {
+		return
+	}
+	n.fab.remove(n.addr)
+}
+
+// pickFlow steers an inbound request to a local flow.
+func (n *SoftNIC) pickFlow(m *wire.Message) uint16 {
+	n.mu.RLock()
+	balancer, extractor := n.balancer, n.extractor
+	n.mu.RUnlock()
+	switch balancer {
+	case BalanceUniform:
+		return uint16(n.rr.Add(1)-1) % uint16(len(n.flows))
+	case BalanceObjectLevel:
+		key := extractor(m.Payload)
+		h := fnv.New32a()
+		h.Write(key)
+		return uint16(h.Sum32() % uint32(len(n.flows)))
+	default: // static
+		n.mu.RLock()
+		f, ok := n.conns[connKey{m.SrcAddr, m.ConnID}]
+		n.mu.RUnlock()
+		if ok {
+			return f
+		}
+		// Unknown connection: assign round-robin and remember (the CM
+		// opens the connection on first contact).
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if f, ok := n.conns[connKey{m.SrcAddr, m.ConnID}]; ok {
+			return f
+		}
+		f = uint16(n.rr.Add(1)-1) % uint16(len(n.flows))
+		n.conns[connKey{m.SrcAddr, m.ConnID}] = f
+		return f
+	}
+}
+
+// Send routes a message through the fabric to its destination NIC,
+// performing the steering the hardware load balancer and connection manager
+// do. Messages to addresses with no local NIC are handed to the fabric's
+// gateway (a cross-host transport) if one is attached. Flow-control is lossy
+// at full rings, like the paper's best-effort transport (the Protocol unit
+// is pass-through unless a transport protocol is layered on the gateway).
+func (n *SoftNIC) Send(m *wire.Message) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	frame, err := wire.MarshalAppend(nil, m)
+	if err != nil {
+		return err
+	}
+	dst := n.fab.lookup(m.DstAddr)
+	if dst == nil {
+		if gw := n.fab.gateway(); gw != nil {
+			n.RPCsOut.Add(1)
+			n.BytesOut.Add(uint64(len(frame)))
+			return gw(m.DstAddr, frame)
+		}
+		return ErrNoRoute
+	}
+	var flow uint16
+	switch m.Kind {
+	case wire.KindResponse:
+		// Responses steer to the flow the request came from (§4.2: "the
+		// NIC reads this information to ensure that the responses are
+		// steered to the same flows where requests came from").
+		flow = m.FlowID % uint16(len(dst.flows))
+	default:
+		flow = dst.pickFlow(m)
+	}
+	n.RPCsOut.Add(1)
+	n.BytesOut.Add(uint64(len(frame)))
+	if !dst.flows[flow].deliver(frame, m.Kind == wire.KindResponse) {
+		n.Drops.Add(1)
+		return ErrRingFull
+	}
+	dst.RPCsIn.Add(1)
+	dst.BytesIn.Add(uint64(len(frame)))
+	return nil
+}
+
+// Gateway forwards frames addressed to NICs not present on this fabric —
+// the hook a cross-host transport (internal/transport) attaches to.
+type Gateway func(dstAddr uint32, frame []byte) error
+
+// Fabric connects SoftNICs by address.
+type Fabric struct {
+	mu   sync.RWMutex
+	nics map[uint32]*SoftNIC
+	gw   Gateway
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{nics: make(map[uint32]*SoftNIC)}
+}
+
+// SetGateway attaches the route of last resort for non-local destinations.
+func (f *Fabric) SetGateway(gw Gateway) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gw = gw
+}
+
+func (f *Fabric) gateway() Gateway {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.gw
+}
+
+// Inject delivers a frame arriving from a gateway (e.g. a UDP transport) to
+// the local destination NIC, applying the same steering as local sends.
+func (f *Fabric) Inject(frame []byte) error {
+	m, _, err := wire.Unmarshal(frame)
+	if err != nil {
+		return err
+	}
+	dst := f.lookup(m.DstAddr)
+	if dst == nil {
+		return ErrNoRoute
+	}
+	var flow uint16
+	if m.Kind == wire.KindResponse {
+		flow = m.FlowID % uint16(len(dst.flows))
+	} else {
+		flow = dst.pickFlow(&m)
+	}
+	if !dst.flows[flow].deliver(frame, m.Kind == wire.KindResponse) {
+		return ErrRingFull
+	}
+	dst.RPCsIn.Add(1)
+	dst.BytesIn.Add(uint64(len(frame)))
+	return nil
+}
+
+// DefaultRingDepth is the per-flow RX ring depth if not overridden.
+const DefaultRingDepth = 1024
+
+// CreateNIC instantiates a NIC at addr with nflows flows and the given RX
+// ring depth per flow (0 uses DefaultRingDepth).
+func (f *Fabric) CreateNIC(addr uint32, nflows, ringDepth int) (*SoftNIC, error) {
+	if nflows <= 0 {
+		return nil, fmt.Errorf("fabric: need at least one flow")
+	}
+	if ringDepth <= 0 {
+		ringDepth = DefaultRingDepth
+	}
+	n := &SoftNIC{
+		addr:  addr,
+		fab:   f,
+		conns: make(map[connKey]uint16),
+	}
+	for i := 0; i < nflows; i++ {
+		n.flows = append(n.flows, newFlow(ringDepth))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.nics[addr]; dup {
+		return nil, ErrDupAddress
+	}
+	f.nics[addr] = n
+	return n, nil
+}
+
+func (f *Fabric) lookup(addr uint32) *SoftNIC {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.nics[addr]
+}
+
+func (f *Fabric) remove(addr uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.nics, addr)
+}
+
+// NumNICs returns the number of attached NICs.
+func (f *Fabric) NumNICs() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.nics)
+}
+
+// Yield hints the scheduler during tight poll loops.
+func Yield() { runtime.Gosched() }

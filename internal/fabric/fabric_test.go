@@ -1,0 +1,386 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dagger/internal/wire"
+)
+
+func twoNICs(t *testing.T) (*Fabric, *SoftNIC, *SoftNIC) {
+	t.Helper()
+	f := NewFabric()
+	a, err := f.CreateNIC(1, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.CreateNIC(2, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, a, b
+}
+
+func req(src, dst uint32, conn uint32, flow uint16, payload string) *wire.Message {
+	return &wire.Message{
+		Header: wire.Header{
+			Kind: wire.KindRequest, ConnID: conn, RPCID: 1,
+			FlowID: flow, SrcAddr: src, DstAddr: dst,
+		},
+		Payload: []byte(payload),
+	}
+}
+
+func TestFabricRouting(t *testing.T) {
+	_, a, b := twoNICs(t)
+	if err := a.Send(req(1, 2, 7, 0, "hi")); err != nil {
+		t.Fatal(err)
+	}
+	// Static balancing assigned some flow on b; find the frame.
+	var got []byte
+	for i := 0; i < b.NumFlows(); i++ {
+		fl, _ := b.Flow(i)
+		if frame, ok := fl.TryRecv(); ok {
+			got = frame
+			break
+		}
+	}
+	if got == nil {
+		t.Fatal("frame not delivered to any flow")
+	}
+	m, _, err := wire.Unmarshal(got)
+	if err != nil || string(m.Payload) != "hi" {
+		t.Fatalf("payload = %q err %v", m.Payload, err)
+	}
+	if a.RPCsOut.Load() != 1 || b.RPCsIn.Load() != 1 {
+		t.Fatal("monitor counters wrong")
+	}
+}
+
+func TestFabricNoRoute(t *testing.T) {
+	_, a, _ := twoNICs(t)
+	if err := a.Send(req(1, 99, 1, 0, "x")); err != ErrNoRoute {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestFabricStaticConnectionAffinity(t *testing.T) {
+	_, a, b := twoNICs(t)
+	// All requests on one connection must land on the same server flow.
+	for i := 0; i < 10; i++ {
+		if err := a.Send(req(1, 2, 5, 0, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flowsHit := 0
+	for i := 0; i < b.NumFlows(); i++ {
+		fl, _ := b.Flow(i)
+		n := 0
+		for {
+			if _, ok := fl.TryRecv(); !ok {
+				break
+			}
+			n++
+		}
+		if n > 0 {
+			flowsHit++
+			if n != 10 {
+				t.Fatalf("connection split across flows: %d on flow %d", n, i)
+			}
+		}
+	}
+	if flowsHit != 1 {
+		t.Fatalf("connection hit %d flows, want 1", flowsHit)
+	}
+}
+
+func TestFabricUniformBalancer(t *testing.T) {
+	_, a, b := twoNICs(t)
+	if err := b.SetBalancer(BalanceUniform, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := a.Send(req(1, 2, uint32(i), 0, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < b.NumFlows(); i++ {
+		fl, _ := b.Flow(i)
+		n := 0
+		for {
+			if _, ok := fl.TryRecv(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 10 {
+			t.Fatalf("flow %d got %d, want 10 (uniform)", i, n)
+		}
+	}
+}
+
+func TestFabricObjectLevelBalancer(t *testing.T) {
+	_, a, b := twoNICs(t)
+	if err := b.SetBalancer(BalanceObjectLevel, func(p []byte) []byte { return p }); err != nil {
+		t.Fatal(err)
+	}
+	// Same payload key -> same flow every time, from any connection.
+	for i := 0; i < 20; i++ {
+		if err := a.Send(req(1, 2, uint32(i), 0, "hotkey")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hit := 0
+	for i := 0; i < b.NumFlows(); i++ {
+		fl, _ := b.Flow(i)
+		n := 0
+		for {
+			if _, ok := fl.TryRecv(); !ok {
+				break
+			}
+			n++
+		}
+		if n > 0 {
+			hit++
+			if n != 20 {
+				t.Fatalf("key split across flows")
+			}
+		}
+	}
+	if hit != 1 {
+		t.Fatalf("key landed on %d flows", hit)
+	}
+}
+
+func TestFabricObjectLevelNeedsExtractor(t *testing.T) {
+	_, _, b := twoNICs(t)
+	if err := b.SetBalancer(BalanceObjectLevel, nil); err == nil {
+		t.Fatal("object-level without extractor accepted")
+	}
+}
+
+func TestFabricResponseSteering(t *testing.T) {
+	_, a, b := twoNICs(t)
+	resp := &wire.Message{
+		Header: wire.Header{
+			Kind: wire.KindResponse, ConnID: 1, RPCID: 9,
+			FlowID: 1, SrcAddr: 2, DstAddr: 1,
+		},
+		Payload: []byte("pong"),
+	}
+	if err := b.Send(resp); err != nil {
+		t.Fatal(err)
+	}
+	fl, _ := a.Flow(1)
+	frame, ok := fl.TryRecv()
+	if !ok {
+		t.Fatal("response not steered to requester's flow 1")
+	}
+	m, _, _ := wire.Unmarshal(frame)
+	if string(m.Payload) != "pong" {
+		t.Fatal("payload mismatch")
+	}
+	fl0, _ := a.Flow(0)
+	if _, ok := fl0.TryRecv(); ok {
+		t.Fatal("response duplicated to flow 0")
+	}
+}
+
+func TestFabricRingFullDrops(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.CreateNIC(1, 1, 16)
+	b, _ := f.CreateNIC(2, 1, 2)
+	var lastErr error
+	for i := 0; i < 5; i++ {
+		if err := a.Send(req(1, 2, 1, 0, "x")); err != nil {
+			lastErr = err
+		}
+	}
+	if lastErr != ErrRingFull {
+		t.Fatalf("err = %v, want ErrRingFull", lastErr)
+	}
+	fl, _ := b.Flow(0)
+	if fl.Dropped() == 0 || a.Drops.Load() == 0 {
+		t.Fatal("drop counters not updated")
+	}
+}
+
+func TestFabricCloseAndReuseAddress(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.CreateNIC(1, 1, 4)
+	if _, err := f.CreateNIC(1, 1, 4); err != ErrDupAddress {
+		t.Fatalf("dup address err = %v", err)
+	}
+	a.Close()
+	if err := a.Send(req(1, 1, 1, 0, "x")); err != ErrClosed {
+		t.Fatalf("send on closed NIC err = %v", err)
+	}
+	if _, err := f.CreateNIC(1, 1, 4); err != nil {
+		t.Fatalf("address not released: %v", err)
+	}
+}
+
+func TestFlowRecvBlocksAndWakes(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.CreateNIC(1, 1, 4)
+	b, _ := f.CreateNIC(2, 1, 4)
+	fl, _ := b.Flow(0)
+	stop := make(chan struct{})
+	got := make(chan []byte, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		frame, ok := fl.Recv(stop)
+		if ok {
+			got <- frame
+		}
+	}()
+	if err := a.Send(req(1, 2, 1, 0, "wake")); err != nil {
+		t.Fatal(err)
+	}
+	frame := <-got
+	m, _, _ := wire.Unmarshal(frame)
+	if string(m.Payload) != "wake" {
+		t.Fatal("wrong frame")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlowRecvStop(t *testing.T) {
+	f := NewFabric()
+	b, _ := f.CreateNIC(2, 1, 4)
+	fl, _ := b.Flow(0)
+	stop := make(chan struct{})
+	done := make(chan bool)
+	go func() {
+		_, ok := fl.Recv(stop)
+		done <- ok
+	}()
+	close(stop)
+	if ok := <-done; ok {
+		t.Fatal("Recv returned ok after stop with empty ring")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	f := NewFabric()
+	_, _ = f.CreateNIC(99, 1, 4) // unrelated NIC
+	dst, _ := f.CreateNIC(2, 4, 4096)
+	const senders, per = 8, 500
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		s := s
+		src, err := f.CreateNIC(uint32(100+s), 1, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m := req(src.Addr(), 2, uint32(s), 0, fmt.Sprintf("m%d", i))
+				if err := src.Send(m); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := dst.RPCsIn.Load(); got != senders*per {
+		t.Fatalf("delivered %d, want %d", got, senders*per)
+	}
+}
+
+func TestGatewayForwardsNonLocal(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.CreateNIC(1, 1, 16)
+	if f.NumNICs() != 1 {
+		t.Fatalf("NumNICs = %d", f.NumNICs())
+	}
+	var forwarded []byte
+	var forwardedTo uint32
+	f.SetGateway(func(dst uint32, frame []byte) error {
+		forwardedTo = dst
+		forwarded = frame
+		return nil
+	})
+	if err := a.Send(req(1, 777, 1, 0, "remote")); err != nil {
+		t.Fatal(err)
+	}
+	if forwardedTo != 777 || forwarded == nil {
+		t.Fatal("gateway did not receive the non-local frame")
+	}
+	m, _, err := wire.Unmarshal(forwarded)
+	if err != nil || string(m.Payload) != "remote" {
+		t.Fatalf("gateway frame: %q %v", m.Payload, err)
+	}
+	// Detaching the gateway restores ErrNoRoute.
+	f.SetGateway(nil)
+	if err := a.Send(req(1, 777, 1, 0, "x")); err != ErrNoRoute {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestInjectDeliversAndSteers(t *testing.T) {
+	f := NewFabric()
+	b, _ := f.CreateNIC(2, 2, 16)
+	frame, _ := wire.MarshalAppend(nil, req(1, 2, 9, 0, "injected"))
+	if err := f.Inject(frame); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := 0; i < b.NumFlows(); i++ {
+		fl, _ := b.Flow(i)
+		if raw, ok := fl.TryRecv(); ok {
+			m, _, _ := wire.Unmarshal(raw)
+			if string(m.Payload) == "injected" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("injected frame not delivered")
+	}
+	// Responses steer by FlowID.
+	resp := &wire.Message{Header: wire.Header{Kind: wire.KindResponse, FlowID: 1, DstAddr: 2}}
+	respFrame, _ := wire.MarshalAppend(nil, resp)
+	if err := f.Inject(respFrame); err != nil {
+		t.Fatal(err)
+	}
+	fl, _ := b.Flow(1)
+	if _, ok := fl.RecvResponse(make(chan struct{})); !ok {
+		t.Fatal("injected response not steered to flow 1")
+	}
+	// Unknown destination and garbage frames are errors.
+	if err := f.Inject(frameTo(t, 99)); err != ErrNoRoute {
+		t.Fatalf("inject to unknown addr: %v", err)
+	}
+	if err := f.Inject(make([]byte, wire.CacheLineSize)); err == nil {
+		t.Fatal("garbage frame injected successfully")
+	}
+}
+
+func frameTo(t *testing.T, dst uint32) []byte {
+	t.Helper()
+	frame, err := wire.MarshalAppend(nil, req(1, dst, 1, 0, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestFlowIndexBounds(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.CreateNIC(1, 2, 16)
+	if _, err := a.Flow(-1); err != ErrFlowRange {
+		t.Fatal("negative flow accepted")
+	}
+	if _, err := a.Flow(2); err != ErrFlowRange {
+		t.Fatal("out-of-range flow accepted")
+	}
+	Yield() // exercise the scheduler hint helper
+}

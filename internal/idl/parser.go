@@ -1,0 +1,207 @@
+package idl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type token struct {
+	kind string // "ident", "punct", "int", "eof"
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src), line: 1} }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: "eof", line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: "ident", text: string(l.src[start:l.pos]), line: l.line}, nil
+	case unicode.IsDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: "int", text: string(l.src[start:l.pos]), line: l.line}, nil
+	case strings.ContainsRune("{}();[],", c):
+		l.pos++
+		return token{kind: "punct", text: string(c), line: l.line}, nil
+	default:
+		return token{}, fmt.Errorf("idl: line %d: unexpected character %q", l.line, c)
+	}
+}
+
+type parser struct {
+	lex  *lexer
+	tok  token
+	err  error
+	file File
+}
+
+// Parse parses IDL source text into a validated File.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src)}
+	p.advance()
+	for p.err == nil && p.tok.kind != "eof" {
+		switch {
+		case p.tok.kind == "ident" && strings.EqualFold(p.tok.text, "message"):
+			p.parseMessage()
+		case p.tok.kind == "ident" && strings.EqualFold(p.tok.text, "service"):
+			p.parseService()
+		default:
+			p.fail("expected Message or Service, got %q", p.tok.text)
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if err := p.file.Validate(); err != nil {
+		return nil, err
+	}
+	return &p.file, nil
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		return
+	}
+	p.tok = t
+}
+
+func (p *parser) fail(format string, args ...interface{}) {
+	if p.err == nil {
+		p.err = fmt.Errorf("idl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+	}
+}
+
+func (p *parser) expect(kind, text string) string {
+	if p.err != nil {
+		return ""
+	}
+	if p.tok.kind != kind || (text != "" && p.tok.text != text) {
+		p.fail("expected %s %q, got %q", kind, text, p.tok.text)
+		return ""
+	}
+	got := p.tok.text
+	p.advance()
+	return got
+}
+
+func (p *parser) expectIdent() string { return p.expect("ident", "") }
+
+func (p *parser) parseMessage() {
+	p.advance() // consume "Message"
+	m := Message{Name: p.expectIdent()}
+	p.expect("punct", "{")
+	for p.err == nil && !(p.tok.kind == "punct" && p.tok.text == "}") {
+		m.Fields = append(m.Fields, p.parseField())
+	}
+	p.expect("punct", "}")
+	if p.err == nil {
+		p.file.Messages = append(p.file.Messages, m)
+	}
+}
+
+func (p *parser) parseField() Field {
+	var f Field
+	typeName := p.expectIdent()
+	switch typeName {
+	case "int32":
+		f.Kind = TypeInt32
+	case "int64":
+		f.Kind = TypeInt64
+	case "uint32":
+		f.Kind = TypeUint32
+	case "uint64":
+		f.Kind = TypeUint64
+	case "bool":
+		f.Kind = TypeBool
+	case "bytes":
+		f.Kind = TypeBytes
+	case "string":
+		f.Kind = TypeString
+	case "char":
+		f.Kind = TypeChar
+		p.expect("punct", "[")
+		n := p.expect("int", "")
+		p.expect("punct", "]")
+		if p.err == nil {
+			f.ArrayLen, _ = strconv.Atoi(n)
+		}
+	default:
+		p.fail("unknown type %q", typeName)
+	}
+	f.Name = p.expectIdent()
+	p.expect("punct", ";")
+	return f
+}
+
+func (p *parser) parseService() {
+	p.advance() // consume "Service"
+	s := Service{Name: p.expectIdent()}
+	p.expect("punct", "{")
+	for p.err == nil && !(p.tok.kind == "punct" && p.tok.text == "}") {
+		s.Methods = append(s.Methods, p.parseMethod())
+	}
+	p.expect("punct", "}")
+	if p.err == nil {
+		p.file.Services = append(p.file.Services, s)
+	}
+}
+
+func (p *parser) parseMethod() Method {
+	if p.tok.kind != "ident" || p.tok.text != "rpc" {
+		p.fail("expected rpc, got %q", p.tok.text)
+		return Method{}
+	}
+	p.advance()
+	m := Method{Name: p.expectIdent()}
+	p.expect("punct", "(")
+	m.Request = p.expectIdent()
+	p.expect("punct", ")")
+	if ret := p.expectIdent(); ret != "returns" {
+		p.fail("expected returns, got %q", ret)
+	}
+	p.expect("punct", "(")
+	m.Response = p.expectIdent()
+	p.expect("punct", ")")
+	p.expect("punct", ";")
+	return m
+}

@@ -1,0 +1,288 @@
+package memcached
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dagger/internal/core"
+	"dagger/internal/fabric"
+)
+
+func TestSetGet(t *testing.T) {
+	s := New(4, 0)
+	cas1 := s.Set("k", []byte("v1"), 7)
+	item, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(item.Value) != "v1" || item.Flags != 7 || item.CAS != cas1 {
+		t.Fatalf("item = %+v", item)
+	}
+	cas2 := s.Set("k", []byte("v2"), 9)
+	if cas2 <= cas1 {
+		t.Fatal("CAS not monotone")
+	}
+	item, _ = s.Get("k")
+	if string(item.Value) != "v2" || item.Flags != 9 {
+		t.Fatalf("overwrite failed: %+v", item)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(4, 0)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.MissCount.Load() != 1 {
+		t.Fatal("miss counter")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(4, 0)
+	s.Set("k", []byte("v"), 0)
+	if !s.Delete("k") {
+		t.Fatal("delete existing returned false")
+	}
+	if s.Delete("k") {
+		t.Fatal("delete missing returned true")
+	}
+	if _, err := s.Get("k"); err == nil {
+		t.Fatal("deleted key still readable")
+	}
+	if s.Len() != 0 {
+		t.Fatal("len after delete")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(1, 2048)
+	for i := 0; i < 100; i++ {
+		s.Set(fmt.Sprintf("key-%03d", i), make([]byte, 64), 0)
+	}
+	if s.Evictions.Load() == 0 {
+		t.Fatal("no evictions under memory pressure")
+	}
+	if s.Bytes() > 2048 {
+		t.Fatalf("resident %d exceeds bound", s.Bytes())
+	}
+	// Recently-written keys survive; the oldest are gone.
+	if _, err := s.Get("key-099"); err != nil {
+		t.Fatal("most recent key evicted")
+	}
+	if _, err := s.Get("key-000"); err == nil {
+		t.Fatal("oldest key survived")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	s := New(1, 800)
+	s.Set("hot", make([]byte, 32), 0)
+	for i := 0; i < 50; i++ {
+		s.Set(fmt.Sprintf("filler-%d", i), make([]byte, 32), 0)
+		s.Get("hot") // keep refreshing
+	}
+	if _, err := s.Get("hot"); err != nil {
+		t.Fatal("LRU-touched key was evicted")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := New(2, 0)
+	v := []byte("mutable")
+	s.Set("k", v, 0)
+	v[0] = 'X'
+	item, _ := s.Get("k")
+	if string(item.Value) != "mutable" {
+		t.Fatal("store aliased caller's buffer")
+	}
+	item.Value[0] = 'Y'
+	item2, _ := s.Get("k")
+	if string(item2.Value) != "mutable" {
+		t.Fatal("returned buffer aliased store")
+	}
+}
+
+// Property: the store behaves like a map under set/get/delete (no memory
+// bound).
+func TestMapEquivalenceProperty(t *testing.T) {
+	f := func(ops []uint8, vals []byte) bool {
+		s := New(4, 0)
+		model := map[string][]byte{}
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%16)
+			switch op % 3 {
+			case 0:
+				v := []byte{byte(i)}
+				if len(vals) > 0 {
+					v = append(v, vals[i%len(vals)])
+				}
+				s.Set(key, v, 0)
+				model[key] = v
+			case 1:
+				got, err := s.Get(key)
+				want, ok := model[key]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && !bytes.Equal(got.Value, want) {
+					return false
+				}
+			case 2:
+				if s.Delete(key) != (model[key] != nil) {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(16, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%50)
+				s.Set(key, []byte(key), 0)
+				if item, err := s.Get(key); err != nil || string(item.Value) != key {
+					t.Errorf("concurrent get %q: %v", key, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// The Dagger port: SET/GET over the RPC fabric with protocol semantics
+// preserved.
+func TestDaggerPortEndToEnd(t *testing.T) {
+	f := fabric.NewFabric()
+	cnic, _ := f.CreateNIC(1, 1, 256)
+	snic, _ := f.CreateNIC(2, 2, 256)
+	store := New(8, 0)
+	srv, err := Serve(snic, store, core.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	rc, _ := core.NewRpcClient(cnic, 0)
+	defer rc.Close()
+	if _, err := rc.OpenConnection(2); err != nil {
+		t.Fatal(err)
+	}
+	mc := NewClient(rc)
+
+	if _, err := mc.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss err = %v", err)
+	}
+	cas, err := mc.Set("greeting", []byte("hello dagger"), 42)
+	if err != nil || cas == 0 {
+		t.Fatalf("set: cas=%d err=%v", cas, err)
+	}
+	item, err := mc.Get("greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(item.Value) != "hello dagger" || item.Flags != 42 || item.CAS != cas {
+		t.Fatalf("round trip: %+v", item)
+	}
+	// Data integrity across many keys (the paper's correctness check).
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("bulk-%d", i)
+		if _, err := mc.Set(k, []byte(k), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("bulk-%d", i)
+		item, err := mc.Get(k)
+		if err != nil || string(item.Value) != k || item.Flags != uint32(i) {
+			t.Fatalf("bulk %d: %+v %v", i, item, err)
+		}
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	s := New(4, 0)
+	cas1 := s.Set("k", []byte("v1"), 0)
+	// Successful CAS with the current token.
+	cas2, err := s.CompareAndSwap("k", []byte("v2"), 5, cas1)
+	if err != nil || cas2 <= cas1 {
+		t.Fatalf("cas: %d %v", cas2, err)
+	}
+	item, _ := s.Get("k")
+	if string(item.Value) != "v2" || item.Flags != 5 {
+		t.Fatalf("item = %+v", item)
+	}
+	// Stale token.
+	if _, err := s.CompareAndSwap("k", []byte("v3"), 0, cas1); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("stale cas err = %v", err)
+	}
+	// Missing key.
+	if _, err := s.CompareAndSwap("nope", []byte("v"), 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing cas err = %v", err)
+	}
+}
+
+func TestDaggerPortDeleteAndCAS(t *testing.T) {
+	f := fabric.NewFabric()
+	cnic, _ := f.CreateNIC(1, 1, 256)
+	snic, _ := f.CreateNIC(2, 1, 256)
+	store := New(8, 0)
+	srv, err := Serve(snic, store, core.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	rc, _ := core.NewRpcClient(cnic, 0)
+	defer rc.Close()
+	if _, err := rc.OpenConnection(2); err != nil {
+		t.Fatal(err)
+	}
+	mc := NewClient(rc)
+
+	cas, err := mc.Set("k", []byte("v1"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CAS over the wire: success, then stale.
+	cas2, err := mc.CompareAndSwap("k", []byte("v2"), 1, cas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.CompareAndSwap("k", []byte("v3"), 1, cas); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("stale cas over wire: %v", err)
+	}
+	if _, err := mc.CompareAndSwap("ghost", []byte("v"), 0, cas2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing cas over wire: %v", err)
+	}
+	item, err := mc.Get("k")
+	if err != nil || string(item.Value) != "v2" || item.CAS != cas2 {
+		t.Fatalf("after cas: %+v %v", item, err)
+	}
+	// Delete over the wire.
+	existed, err := mc.Delete("k")
+	if err != nil || !existed {
+		t.Fatalf("delete: %v %v", existed, err)
+	}
+	existed, err = mc.Delete("k")
+	if err != nil || existed {
+		t.Fatalf("double delete: %v %v", existed, err)
+	}
+	if _, err := mc.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key still readable over wire")
+	}
+}

@@ -1,0 +1,265 @@
+// Package mica implements a MICA-like key-value store (Lim et al., NSDI'14
+// — the paper's second KVS workload, §5.6): data is partitioned across
+// cores, each partition pairs a lossy bucket index with a circular append
+// log, and requests reach the right partition through key-hash ("object
+// level") steering rather than locks. Under Dagger, that steering runs in
+// the NIC's load balancer (§5.7), so a partition is only ever touched by
+// its own server flow — the EREW mode of the original system.
+package mica
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+)
+
+// Errors returned by partition operations.
+var (
+	ErrNotFound = errors.New("mica: not found")
+	ErrTooLarge = errors.New("mica: item exceeds log capacity")
+)
+
+const (
+	bucketWays = 8 // entries per index bucket (lossy 8-way)
+	entryHdr   = 4 // key length + value length, uint16 each
+)
+
+type idxEntry struct {
+	tag    uint16
+	valid  bool
+	offset uint64 // absolute log offset of the item record
+}
+
+// Partition is one core's shard: a lossy index over a circular log.
+// Partitions are not internally synchronized — exclusive access per flow is
+// the point of the design.
+type Partition struct {
+	buckets [][]idxEntry
+	mask    uint32
+
+	log  []byte
+	head uint64 // oldest valid byte (absolute offset)
+	tail uint64 // next write position (absolute offset)
+
+	Hits        uint64
+	Misses      uint64
+	Sets        uint64
+	IndexEvicts uint64 // lossy-bucket displacements
+	LogEvicts   uint64 // items aged out by log wrap
+}
+
+// NewPartition creates a partition with nBuckets index buckets (rounded to
+// a power of two) over a logBytes circular log.
+func NewPartition(nBuckets int, logBytes int) *Partition {
+	if nBuckets <= 0 || logBytes <= 0 {
+		panic("mica: partition sizes must be positive")
+	}
+	n := 1
+	for n < nBuckets {
+		n <<= 1
+	}
+	p := &Partition{
+		buckets: make([][]idxEntry, n),
+		mask:    uint32(n - 1),
+		log:     make([]byte, logBytes),
+	}
+	for i := range p.buckets {
+		p.buckets[i] = make([]idxEntry, bucketWays)
+	}
+	return p
+}
+
+func keyHash(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+// logWrite appends a record and returns its absolute offset, advancing head
+// past aged-out items.
+func (p *Partition) logWrite(key, value []byte) (uint64, error) {
+	rec := entryHdr + len(key) + len(value)
+	if rec > len(p.log) {
+		return 0, ErrTooLarge
+	}
+	// Age out the oldest items until the record fits.
+	for p.tail+uint64(rec)-p.head > uint64(len(p.log)) {
+		p.head += uint64(p.recordLen(p.head))
+		p.LogEvicts++
+	}
+	off := p.tail
+	p.putRecord(off, key, value)
+	p.tail += uint64(rec)
+	return off, nil
+}
+
+func (p *Partition) recordLen(off uint64) int {
+	kl := int(binary.LittleEndian.Uint16(p.ring(off, 2)))
+	vl := int(binary.LittleEndian.Uint16(p.ring(off+2, 2)))
+	return entryHdr + kl + vl
+}
+
+// ring reads n bytes at absolute offset off, handling wraparound by
+// copying when the record straddles the end of the log.
+func (p *Partition) ring(off uint64, n int) []byte {
+	i := int(off % uint64(len(p.log)))
+	if i+n <= len(p.log) {
+		return p.log[i : i+n]
+	}
+	out := make([]byte, n)
+	first := len(p.log) - i
+	copy(out, p.log[i:])
+	copy(out[first:], p.log[:n-first])
+	return out
+}
+
+func (p *Partition) putRecord(off uint64, key, value []byte) {
+	var hdr [entryHdr]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(value)))
+	p.writeRing(off, hdr[:])
+	p.writeRing(off+entryHdr, key)
+	p.writeRing(off+entryHdr+uint64(len(key)), value)
+}
+
+func (p *Partition) writeRing(off uint64, b []byte) {
+	i := int(off % uint64(len(p.log)))
+	n := copy(p.log[i:], b)
+	if n < len(b) {
+		copy(p.log, b[n:])
+	}
+}
+
+func (p *Partition) bucketFor(h uint64) ([]idxEntry, uint16) {
+	// Low bits index the bucket (FNV-64a mixes them best for short keys);
+	// high bits form the tag so the two are independent.
+	b := uint32(h) & p.mask
+	tag := uint16(h >> 48)
+	return p.buckets[b], tag
+}
+
+// Set inserts or overwrites a key. Index buckets are lossy: when a bucket
+// is full, the entry with the oldest log offset is displaced.
+func (p *Partition) Set(key, value []byte) error {
+	if len(key) > 0xFFFF || len(value) > 0xFFFF {
+		return ErrTooLarge
+	}
+	h := keyHash(key)
+	bucket, tag := p.bucketFor(h)
+	off, err := p.logWrite(key, value)
+	if err != nil {
+		return err
+	}
+	p.Sets++
+	// Overwrite a matching entry if present.
+	for i := range bucket {
+		if bucket[i].valid && bucket[i].tag == tag {
+			if k, _, ok := p.readRecord(bucket[i].offset); ok && bytes.Equal(k, key) {
+				bucket[i].offset = off
+				return nil
+			}
+		}
+	}
+	// Take a free slot, else displace the oldest (lossy index).
+	victim := 0
+	oldest := uint64(math.MaxUint64)
+	for i := range bucket {
+		if !bucket[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if bucket[i].offset < oldest {
+			oldest = bucket[i].offset
+			victim = i
+		}
+	}
+	if bucket[victim].valid {
+		p.IndexEvicts++
+	}
+	bucket[victim] = idxEntry{tag: tag, valid: true, offset: off}
+	return nil
+}
+
+// readRecord fetches the record at off if it is still within the log's
+// valid window.
+func (p *Partition) readRecord(off uint64) (key, value []byte, ok bool) {
+	if off < p.head || off >= p.tail {
+		return nil, nil, false
+	}
+	kl := int(binary.LittleEndian.Uint16(p.ring(off, 2)))
+	vl := int(binary.LittleEndian.Uint16(p.ring(off+2, 2)))
+	key = p.ring(off+entryHdr, kl)
+	value = p.ring(off+entryHdr+uint64(kl), vl)
+	return key, value, true
+}
+
+// Get fetches a key's value. Both lossy-index displacement and log aging
+// surface as ErrNotFound, as in MICA's cache mode.
+func (p *Partition) Get(key []byte) ([]byte, error) {
+	h := keyHash(key)
+	bucket, tag := p.bucketFor(h)
+	for i := range bucket {
+		if !bucket[i].valid || bucket[i].tag != tag {
+			continue
+		}
+		k, v, ok := p.readRecord(bucket[i].offset)
+		if !ok {
+			continue
+		}
+		if bytes.Equal(k, key) {
+			p.Hits++
+			return append([]byte(nil), v...), nil
+		}
+	}
+	p.Misses++
+	return nil, ErrNotFound
+}
+
+// Store is the partitioned front: PartitionFor implements the same key-hash
+// the NIC's object-level balancer uses, so requests and data agree on
+// placement.
+type Store struct {
+	parts []*Partition
+}
+
+// NewStore creates nPartitions partitions, each with nBuckets buckets and a
+// logBytes circular log.
+func NewStore(nPartitions, nBuckets, logBytes int) *Store {
+	if nPartitions <= 0 {
+		panic("mica: need at least one partition")
+	}
+	s := &Store{}
+	for i := 0; i < nPartitions; i++ {
+		s.parts = append(s.parts, NewPartition(nBuckets, logBytes))
+	}
+	return s
+}
+
+// NumPartitions returns the partition count.
+func (s *Store) NumPartitions() int { return len(s.parts) }
+
+// PartitionFor maps a key to its owning partition. This must match the
+// NIC-side steering hash (fabric's object-level balancer uses FNV-32a mod
+// flows; with partitions == flows the two agree).
+func PartitionFor(key []byte, nPartitions int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(nPartitions))
+}
+
+// Partition returns partition i.
+func (s *Store) Partition(i int) *Partition { return s.parts[i] }
+
+// Set routes a write to the owning partition (convenience for
+// single-threaded use; the served path goes through per-flow handlers).
+func (s *Store) Set(key, value []byte) error {
+	return s.parts[PartitionFor(key, len(s.parts))].Set(key, value)
+}
+
+// Get routes a read to the owning partition.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	return s.parts[PartitionFor(key, len(s.parts))].Get(key)
+}

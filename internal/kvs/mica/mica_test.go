@@ -1,0 +1,287 @@
+package mica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dagger/internal/core"
+	"dagger/internal/fabric"
+	"dagger/internal/workload"
+)
+
+func TestPartitionSetGet(t *testing.T) {
+	p := NewPartition(64, 1<<16)
+	if err := p.Set([]byte("key"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Get([]byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "value" {
+		t.Fatalf("v = %q", v)
+	}
+	if err := p.Set([]byte("key"), []byte("value2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = p.Get([]byte("key"))
+	if string(v) != "value2" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	if p.Sets != 2 || p.Hits != 2 {
+		t.Fatalf("counters sets=%d hits=%d", p.Sets, p.Hits)
+	}
+}
+
+func TestPartitionMiss(t *testing.T) {
+	p := NewPartition(64, 1<<16)
+	if _, err := p.Get([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if p.Misses != 1 {
+		t.Fatal("miss counter")
+	}
+}
+
+func TestPartitionLogWrapEviction(t *testing.T) {
+	p := NewPartition(1024, 4096)
+	val := make([]byte, 100)
+	for i := 0; i < 200; i++ {
+		if err := p.Set([]byte(fmt.Sprintf("key-%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.LogEvicts == 0 {
+		t.Fatal("log wrap produced no evictions")
+	}
+	// The newest key must be readable; the oldest aged out.
+	if _, err := p.Get([]byte("key-0199")); err != nil {
+		t.Fatal("newest key lost")
+	}
+	if _, err := p.Get([]byte("key-0000")); err == nil {
+		t.Fatal("oldest key survived a full wrap")
+	}
+}
+
+func TestPartitionLossyIndex(t *testing.T) {
+	// One bucket: more than 8 distinct keys must displace entries.
+	p := NewPartition(1, 1<<20)
+	for i := 0; i < 32; i++ {
+		if err := p.Set([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.IndexEvicts == 0 {
+		t.Fatal("full bucket produced no displacements")
+	}
+	found := 0
+	for i := 0; i < 32; i++ {
+		if _, err := p.Get([]byte(fmt.Sprintf("k%d", i))); err == nil {
+			found++
+		}
+	}
+	if found == 0 || found > 8 {
+		t.Fatalf("lossy bucket retains %d keys, want 1..8", found)
+	}
+}
+
+func TestPartitionRejectsOversized(t *testing.T) {
+	p := NewPartition(8, 256)
+	if err := p.Set([]byte("k"), make([]byte, 1024)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecordStraddlesLogEnd(t *testing.T) {
+	// Force records to wrap the circular log boundary and verify reads.
+	p := NewPartition(256, 300)
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("wrap-key-%02d", i))
+		val := []byte(fmt.Sprintf("wrap-val-%02d-%s", i, "0123456789abcdef"))
+		if err := p.Set(key, val); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Get(key)
+		if err != nil {
+			t.Fatalf("i=%d: %v", i, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("i=%d: corrupted wrap read", i)
+		}
+	}
+}
+
+// Property: a partition with a huge log and many buckets behaves like a map.
+func TestPartitionMapEquivalenceProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := NewPartition(4096, 1<<20)
+		model := map[string]string{}
+		for i, op := range ops {
+			key := fmt.Sprintf("key-%d", op%32)
+			if op%2 == 0 {
+				val := fmt.Sprintf("val-%d", i)
+				if p.Set([]byte(key), []byte(val)) != nil {
+					return false
+				}
+				model[key] = val
+			} else {
+				got, err := p.Get([]byte(key))
+				want, ok := model[key]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && string(got) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorePartitioning(t *testing.T) {
+	s := NewStore(8, 256, 1<<16)
+	if s.NumPartitions() != 8 {
+		t.Fatal("partition count")
+	}
+	// Keys land on stable partitions and round-trip through Store.
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if PartitionFor(k, 8) != PartitionFor(k, 8) {
+			t.Fatal("unstable partitioning")
+		}
+		if err := s.Set(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		v, err := s.Get(k)
+		if err != nil || !bytes.Equal(v, k) {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	// Partitions should all carry some load.
+	loaded := 0
+	for i := 0; i < 8; i++ {
+		if s.Partition(i).Sets > 0 {
+			loaded++
+		}
+	}
+	if loaded < 6 {
+		t.Fatalf("only %d/8 partitions loaded", loaded)
+	}
+}
+
+// The steering contract: the fabric's object-level balancer and
+// PartitionFor must agree, so each partition is only touched by its flow.
+func TestSteeringMatchesPartitioning(t *testing.T) {
+	const n = 8
+	f := fabric.NewFabric()
+	nic, _ := f.CreateNIC(2, n, 64)
+	if err := nic.SetBalancer(fabric.BalanceObjectLevel, ExtractKey); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		want := PartitionFor(key, n)
+		// Build the payload the client would send and check the NIC's flow
+		// choice against the store's partition choice.
+		got := int(keyedFlowPick(t, f, nic, key))
+		if got != want {
+			t.Fatalf("key %q: flow %d != partition %d", key, got, want)
+		}
+	}
+}
+
+// keyedFlowPick sends a GET payload through the fabric and reports the flow
+// it landed on.
+func keyedFlowPick(t *testing.T, f *fabric.Fabric, nic *fabric.SoftNIC, key []byte) uint16 {
+	t.Helper()
+	cnic, err := f.CreateNIC(900, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cnic.Close()
+	rc, err := core.NewRpcClient(cnic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.OpenConnection(2); err != nil {
+		t.Fatal(err)
+	}
+	mc := NewClient(rc)
+	rc.SetTimeout(1) // we only care where the frame lands, not the reply
+	_, _ = mc.Get(key)
+	for i := 0; i < nic.NumFlows(); i++ {
+		fl, _ := nic.Flow(i)
+		if _, ok := fl.TryRecv(); ok {
+			return uint16(i)
+		}
+	}
+	t.Fatal("frame not delivered")
+	return 0
+}
+
+func TestDaggerPortEndToEnd(t *testing.T) {
+	f := fabric.NewFabric()
+	cnic, _ := f.CreateNIC(1, 1, 256)
+	snic, _ := f.CreateNIC(2, 4, 256)
+	store := NewStore(4, 1024, 1<<20)
+	srv, err := Serve(snic, store, core.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	rc, _ := core.NewRpcClient(cnic, 0)
+	defer rc.Close()
+	if _, err := rc.OpenConnection(2); err != nil {
+		t.Fatal(err)
+	}
+	mc := NewClient(rc)
+	if _, err := mc.Get([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss err = %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if err := mc.Set(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		v, err := mc.Get(k)
+		if err != nil || !bytes.Equal(v, k) {
+			t.Fatalf("key %d: %q %v", i, v, err)
+		}
+	}
+}
+
+// Load the store through the paper's workload generator shapes.
+func TestZipfianWorkloadIntegrity(t *testing.T) {
+	store := NewStore(4, 1<<14, 1<<22)
+	ds := workload.Dataset{Name: "test", KeySize: 16, ValueSize: 32, Records: 10000}
+	gen := workload.NewKVGenerator(42, ds, workload.WriteIntensive, 0.99)
+	written := map[string][]byte{}
+	for i := 0; i < 20000; i++ {
+		r := gen.Next()
+		if r.Op == workload.OpSet {
+			if err := store.Set(r.Key, r.Value); err != nil {
+				t.Fatal(err)
+			}
+			written[string(r.Key)] = append([]byte(nil), r.Value...)
+		} else if want, ok := written[string(r.Key)]; ok {
+			got, err := store.Get(r.Key)
+			if err == nil && !bytes.Equal(got, want) {
+				t.Fatalf("stale/corrupt read for %x", r.Key)
+			}
+		}
+	}
+}

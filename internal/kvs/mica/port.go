@@ -1,0 +1,129 @@
+package mica
+
+import (
+	"dagger/internal/core"
+	"dagger/internal/fabric"
+	"dagger/internal/wire"
+)
+
+// The Dagger port of MICA (§5.6–5.7): the store runs with "no changes to
+// the original codebase"; a thin server application registers GET/SET
+// handlers and — critically — configures the NIC's object-level load
+// balancer so every key is steered to the flow that owns its partition.
+// With partitions == flows, each partition is accessed by exactly one
+// dispatch thread: MICA's EREW mode, with the steering hash computed on the
+// FPGA instead of Flow Director.
+
+// Function IDs for the MICA service.
+const (
+	FnGet uint16 = iota
+	FnSet
+)
+
+// ExtractKey pulls the key out of a request payload for the NIC's
+// object-level balancer. Both GET and SET payloads start with the
+// 16-bit-length-prefixed key.
+func ExtractKey(payload []byte) []byte {
+	d := wire.NewDecoder(payload)
+	return d.Bytes16()
+}
+
+// Serve configures nic for object-level steering and starts a Dagger
+// server over it. The store must have exactly nic.NumFlows() partitions.
+func Serve(nic *fabric.SoftNIC, store *Store, cfg core.ServerConfig) (*core.RpcThreadedServer, error) {
+	if err := nic.SetBalancer(fabric.BalanceObjectLevel, ExtractKey); err != nil {
+		return nil, err
+	}
+	srv := core.NewRpcThreadedServer(nic, cfg)
+	n := store.NumPartitions()
+	if err := srv.Register(FnGet, "mica.get", func(req []byte) ([]byte, error) {
+		d := wire.NewDecoder(req)
+		key := d.Bytes16()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		val, err := store.Partition(PartitionFor(key, n)).Get(key)
+		e := wire.NewEncoder(nil)
+		if err != nil {
+			e.Bool(false)
+			return e.Bytes(), nil
+		}
+		e.Bool(true)
+		e.Bytes16(val)
+		return e.Bytes(), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := srv.Register(FnSet, "mica.set", func(req []byte) ([]byte, error) {
+		d := wire.NewDecoder(req)
+		key := d.Bytes16()
+		val := d.Bytes16()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		err := store.Partition(PartitionFor(key, n)).Set(key, val)
+		e := wire.NewEncoder(nil)
+		e.Bool(err == nil)
+		return e.Bytes(), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Client is a typed MICA client over a Dagger RpcClient.
+type Client struct {
+	c    *core.RpcClient
+	conn uint32 // 0 = the client's default connection
+}
+
+// NewClient wraps an RpcClient with an open connection to a MICA server.
+func NewClient(c *core.RpcClient) *Client { return &Client{c: c} }
+
+// NewClientConn wraps an RpcClient using a specific connection — for
+// clients that hold connections to several services (SRQ sharing).
+func NewClientConn(c *core.RpcClient, connID uint32) *Client {
+	return &Client{c: c, conn: connID}
+}
+
+func (mc *Client) call(fnID uint16, req []byte) ([]byte, error) {
+	if mc.conn != 0 {
+		return mc.c.CallConn(mc.conn, fnID, req)
+	}
+	return mc.c.Call(fnID, req)
+}
+
+// Get fetches a key.
+func (mc *Client) Get(key []byte) ([]byte, error) {
+	e := wire.NewEncoder(nil)
+	e.Bytes16(key)
+	out, err := mc.call(FnGet, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(out)
+	if !d.Bool() {
+		return nil, ErrNotFound
+	}
+	val := append([]byte(nil), d.Bytes16()...)
+	return val, d.Err()
+}
+
+// Set stores a key.
+func (mc *Client) Set(key, value []byte) error {
+	e := wire.NewEncoder(nil)
+	e.Bytes16(key)
+	e.Bytes16(value)
+	out, err := mc.call(FnSet, e.Bytes())
+	if err != nil {
+		return err
+	}
+	d := wire.NewDecoder(out)
+	if !d.Bool() {
+		return ErrTooLarge
+	}
+	return d.Err()
+}

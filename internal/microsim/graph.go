@@ -1,0 +1,225 @@
+// Package microsim is the characterization substrate for §3 of the paper:
+// a queueing simulator for microservice call graphs in the style of
+// DeathStarBench's Social Network and Media applications (Figures 1 and 2).
+// Each tier has a core pool, a compute-time distribution, and per-visit
+// RPC- and TCP/IP-processing costs; requests traverse the graph per request
+// type, and the simulator records per-tier and end-to-end latency broken
+// down into compute vs networking — regenerating Figure 3 (networking
+// share of median/tail latency vs load), Figure 4 (RPC size distributions)
+// and Figure 5 (CPU interference between networking and application logic).
+package microsim
+
+import (
+	"math"
+	"math/rand"
+
+	"dagger/internal/sim"
+	"dagger/internal/workload"
+)
+
+// Tier is one microservice.
+type Tier struct {
+	Name  string
+	Cores int
+	// ComputeMean/ComputeSigma parametrize a log-normal compute time in
+	// nanoseconds (sigma of ln; 0 sigma = deterministic).
+	ComputeMean  sim.Time
+	ComputeSigma float64
+	// RPCCost and TCPCost are the per-visit networking processing costs
+	// (request+response combined) of the commodity stack this tier runs on.
+	RPCCost sim.Time
+	TCPCost sim.Time
+	// ReqSize and RespSize sample this tier's RPC request/response sizes.
+	ReqSize  workload.SizeDist
+	RespSize workload.SizeDist
+}
+
+// Call is an edge in a request's fan-out: the callee tier index and calls
+// issued in parallel to it.
+type Call struct {
+	Tier  int
+	Count int
+	// Children are nested calls made from within the callee.
+	Children []Call
+}
+
+// RequestType is one end-user operation: a weighted call tree rooted at the
+// application's entry tier.
+type RequestType struct {
+	Name   string
+	Weight float64
+	Root   Call
+}
+
+// Graph is an end-to-end application.
+type Graph struct {
+	Name  string
+	Tiers []Tier
+	Types []RequestType
+}
+
+// TierIndex returns the index of a named tier, or -1.
+func (g *Graph) TierIndex(name string) int {
+	for i, t := range g.Tiers {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tier name constants for the profiled Social Network subset (Figure 3's
+// s1..s6).
+const (
+	TierNginx       = "nginx"
+	TierComposePost = "ComposePost"
+	TierMedia       = "Media"       // s1
+	TierUser        = "User"        // s2
+	TierUniqueID    = "UniqueID"    // s3
+	TierText        = "Text"        // s4
+	TierUserMention = "UserMention" // s5
+	TierUrlShorten  = "UrlShorten"  // s6
+	TierPostStorage = "PostStorage"
+	TierTimeline    = "Timeline"
+)
+
+// small helper distributions
+func fixed(n int64) workload.SizeDist { return workload.FixedSize(n) }
+
+func logn(median int64, sigma float64, min, max int64) workload.SizeDist {
+	return workload.LogNormalSize{Mu: math.Log(float64(median)), Sigma: sigma, Min: min, Max: max}
+}
+
+// SocialNetwork builds the Social Network graph restricted to the profiled
+// subset: nginx front-end, ComposePost middle tier, the six profiled
+// services s1..s6, and the storage back-ends. Compute times and networking
+// costs are set so the low-load breakdown matches §3.1: networking is ~40%
+// of per-tier latency on average and up to ~80% for the light User and
+// UniqueID tiers; Text and UserMention are compute-heavy.
+func SocialNetwork() *Graph {
+	us := func(n int64) sim.Time { return sim.Time(n) * sim.Microsecond }
+	// Commodity-stack networking costs per visit (Thrift RPC + kernel
+	// TCP/IP, request+response processing).
+	const rpc, tcp = 160, 100 // microseconds
+	g := &Graph{
+		Name: "social-network",
+		Tiers: []Tier{
+			{Name: TierNginx, Cores: 8, ComputeMean: us(80), ComputeSigma: 0.3, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(180, 0.6, 32, 1024), RespSize: fixed(48)},
+			{Name: TierComposePost, Cores: 4, ComputeMean: us(150), ComputeSigma: 0.3, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(350, 0.7, 64, 2048), RespSize: fixed(32)},
+			{Name: TierMedia, Cores: 4, ComputeMean: us(420), ComputeSigma: 0.4, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: fixed(56), RespSize: fixed(24)},
+			{Name: TierUser, Cores: 4, ComputeMean: us(110), ComputeSigma: 0.3, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: fixed(48), RespSize: fixed(24)},
+			{Name: TierUniqueID, Cores: 4, ComputeMean: us(90), ComputeSigma: 0.2, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: fixed(40), RespSize: fixed(16)},
+			{Name: TierText, Cores: 2, ComputeMean: us(1500), ComputeSigma: 0.4, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(580, 0.5, 64, 4096), RespSize: fixed(32)},
+			{Name: TierUserMention, Cores: 2, ComputeMean: us(1000), ComputeSigma: 0.4, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(150, 0.5, 32, 1024), RespSize: fixed(24)},
+			{Name: TierUrlShorten, Cores: 2, ComputeMean: us(380), ComputeSigma: 0.4, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(300, 0.6, 48, 2048), RespSize: fixed(40)},
+			{Name: TierPostStorage, Cores: 4, ComputeMean: us(240), ComputeSigma: 0.5, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(400, 0.7, 64, 4096), RespSize: fixed(32)},
+			{Name: TierTimeline, Cores: 4, ComputeMean: us(200), ComputeSigma: 0.5, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: fixed(64), RespSize: logn(900, 0.8, 64, 8192)},
+		},
+	}
+	ix := g.TierIndex
+	compose := Call{Tier: ix(TierNginx), Count: 1, Children: []Call{
+		{Tier: ix(TierComposePost), Count: 1, Children: []Call{
+			{Tier: ix(TierMedia), Count: 1},
+			{Tier: ix(TierUser), Count: 1},
+			{Tier: ix(TierUniqueID), Count: 1},
+			{Tier: ix(TierText), Count: 1, Children: []Call{
+				{Tier: ix(TierUserMention), Count: 1},
+				{Tier: ix(TierUrlShorten), Count: 1},
+			}},
+			{Tier: ix(TierPostStorage), Count: 1},
+		}},
+	}}
+	readHome := Call{Tier: ix(TierNginx), Count: 1, Children: []Call{
+		{Tier: ix(TierTimeline), Count: 1, Children: []Call{
+			{Tier: ix(TierPostStorage), Count: 1},
+			{Tier: ix(TierUser), Count: 1},
+		}},
+	}}
+	readUser := Call{Tier: ix(TierNginx), Count: 1, Children: []Call{
+		{Tier: ix(TierTimeline), Count: 1, Children: []Call{
+			{Tier: ix(TierPostStorage), Count: 1},
+		}},
+	}}
+	g.Types = []RequestType{
+		{Name: "compose-post", Weight: 0.6, Root: compose},
+		{Name: "read-home-timeline", Weight: 0.25, Root: readHome},
+		{Name: "read-user-timeline", Weight: 0.15, Root: readUser},
+	}
+	return g
+}
+
+// MediaServing builds the Media application of Figure 2, reduced to its
+// browse/review paths; used alongside Social Network for the Figure 4 size
+// CDFs.
+func MediaServing() *Graph {
+	us := func(n int64) sim.Time { return sim.Time(n) * sim.Microsecond }
+	const rpc, tcp = 160, 100
+	g := &Graph{
+		Name: "media-serving",
+		Tiers: []Tier{
+			{Name: "nginx", Cores: 8, ComputeMean: us(80), ComputeSigma: 0.3, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(200, 0.6, 32, 1024), RespSize: fixed(48)},
+			{Name: "ComposeReview", Cores: 4, ComputeMean: us(140), ComputeSigma: 0.3, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(420, 0.7, 64, 2048), RespSize: fixed(32)},
+			{Name: "MovieId", Cores: 4, ComputeMean: us(90), ComputeSigma: 0.2, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: fixed(48), RespSize: fixed(24)},
+			{Name: "UniqueId", Cores: 4, ComputeMean: us(85), ComputeSigma: 0.2, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: fixed(40), RespSize: fixed(16)},
+			{Name: "Text", Cores: 2, ComputeMean: us(1300), ComputeSigma: 0.4, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(640, 0.5, 64, 4096), RespSize: fixed(32)},
+			{Name: "Rating", Cores: 4, ComputeMean: us(120), ComputeSigma: 0.3, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: fixed(56), RespSize: fixed(24)},
+			{Name: "MovieInfo", Cores: 4, ComputeMean: us(300), ComputeSigma: 0.5, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: fixed(64), RespSize: logn(1200, 0.8, 64, 8192)},
+			{Name: "ReviewStorage", Cores: 4, ComputeMean: us(260), ComputeSigma: 0.5, RPCCost: us(rpc), TCPCost: us(tcp),
+				ReqSize: logn(500, 0.7, 64, 4096), RespSize: fixed(32)},
+		},
+	}
+	ix := g.TierIndex
+	composeReview := Call{Tier: ix("nginx"), Count: 1, Children: []Call{
+		{Tier: ix("ComposeReview"), Count: 1, Children: []Call{
+			{Tier: ix("MovieId"), Count: 1},
+			{Tier: ix("UniqueId"), Count: 1},
+			{Tier: ix("Text"), Count: 1},
+			{Tier: ix("Rating"), Count: 1},
+			{Tier: ix("ReviewStorage"), Count: 1},
+		}},
+	}}
+	browse := Call{Tier: ix("nginx"), Count: 1, Children: []Call{
+		{Tier: ix("MovieInfo"), Count: 1, Children: []Call{
+			{Tier: ix("ReviewStorage"), Count: 1},
+			{Tier: ix("Rating"), Count: 1},
+		}},
+	}}
+	g.Types = []RequestType{
+		{Name: "compose-review", Weight: 0.4, Root: composeReview},
+		{Name: "browse-movie", Weight: 0.6, Root: browse},
+	}
+	return g
+}
+
+// pickType samples a request type by weight.
+func (g *Graph) pickType(rng *rand.Rand) *RequestType {
+	total := 0.0
+	for i := range g.Types {
+		total += g.Types[i].Weight
+	}
+	x := rng.Float64() * total
+	for i := range g.Types {
+		if x < g.Types[i].Weight {
+			return &g.Types[i]
+		}
+		x -= g.Types[i].Weight
+	}
+	return &g.Types[len(g.Types)-1]
+}

@@ -1,0 +1,178 @@
+// Package netmodel models the network between Dagger NICs: point-to-point
+// links with propagation and serialization delay, the simple ToR switch
+// model with a static switching table used in the paper's loopback and
+// multi-tier setups (§5.1, §5.7, Figure 14), and the round-robin PCIe/UPI
+// arbiter that shares one physical FPGA's CCI-P bus among virtualized NIC
+// instances.
+package netmodel
+
+import (
+	"fmt"
+
+	"dagger/internal/sim"
+)
+
+// ToRDelay is the top-of-rack switch delay assumed in the paper's Table 3
+// comparison (0.3 us round trip contribution: 150 ns per crossing).
+const ToRDelay sim.Time = 150
+
+// LoopbackDelay is the on-FPGA loopback network delay between two NIC
+// instances on the same device (§5.1's evaluation topology).
+const LoopbackDelay sim.Time = 50
+
+// Link is a point-to-point wire with fixed propagation delay and a
+// serialization rate. Transfers are serialized in FIFO order.
+type Link struct {
+	eng       *sim.Engine
+	delay     sim.Time
+	nsPerByte float64
+	busyUntil sim.Time
+
+	Sent      uint64
+	BytesSent uint64
+}
+
+// NewLink creates a link with propagation delay and bandwidth in bytes per
+// nanosecond (e.g. 12.5 B/ns = 100 Gb/s). bandwidth <= 0 means infinite.
+func NewLink(eng *sim.Engine, delay sim.Time, bytesPerNs float64) *Link {
+	var nsPerByte float64
+	if bytesPerNs > 0 {
+		nsPerByte = 1 / bytesPerNs
+	}
+	return &Link{eng: eng, delay: delay, nsPerByte: nsPerByte}
+}
+
+// Send transmits a message of the given size; fn fires at the receiver when
+// the last byte arrives.
+func (l *Link) Send(bytes int, fn func()) {
+	now := l.eng.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := sim.Time(float64(bytes) * l.nsPerByte)
+	l.busyUntil = start + ser
+	l.Sent++
+	l.BytesSent += uint64(bytes)
+	l.eng.At(l.busyUntil+l.delay, fn)
+}
+
+// Port is a switch egress: a handler invoked for delivered frames.
+type Port func(dst uint32, frame []byte)
+
+// Switch is the paper's "simple model of a ToR networking switch with a
+// static switching table" (§5.7): L2 forwarding by destination address with
+// a fixed per-frame latency and per-port FIFO serialization.
+type Switch struct {
+	eng     *sim.Engine
+	latency sim.Time
+	links   map[uint32]*Link
+	ports   map[uint32]Port
+
+	Forwarded uint64
+	Unrouted  uint64
+}
+
+// NewSwitch creates a switch with per-crossing latency.
+func NewSwitch(eng *sim.Engine, latency sim.Time) *Switch {
+	return &Switch{
+		eng:     eng,
+		latency: latency,
+		links:   make(map[uint32]*Link),
+		ports:   make(map[uint32]Port),
+	}
+}
+
+// Connect attaches an address to the switch via a link and a delivery
+// handler (the static switching table entry).
+func (s *Switch) Connect(addr uint32, link *Link, port Port) error {
+	if _, dup := s.ports[addr]; dup {
+		return fmt.Errorf("netmodel: address %#x already connected", addr)
+	}
+	s.links[addr] = link
+	s.ports[addr] = port
+	return nil
+}
+
+// Forward routes a frame to dst; delivery fires after switch latency plus
+// the egress link's serialization and propagation. Frames to unknown
+// addresses are counted and dropped (static table: no learning, no
+// flooding).
+func (s *Switch) Forward(dst uint32, frame []byte) {
+	port, ok := s.ports[dst]
+	if !ok {
+		s.Unrouted++
+		return
+	}
+	s.Forwarded++
+	link := s.links[dst]
+	s.eng.After(s.latency, func() {
+		link.Send(len(frame), func() { port(dst, frame) })
+	})
+}
+
+// Arbiter models the PCIe/UPI arbiter of Figure 14: fair round-robin
+// sharing of the CCI-P bus among NIC instances on one FPGA. Each transfer
+// occupies the bus for its serialization time; waiting instances are served
+// round-robin by instance id.
+type Arbiter struct {
+	eng       *sim.Engine
+	perLine   sim.Time
+	busyUntil sim.Time
+	queues    [][]func()
+	next      int
+	inService bool
+
+	Transfers uint64
+}
+
+// NewArbiter creates an arbiter over n instances with a per-cache-line bus
+// occupancy (UPI at 19.2 GB/s moves a 64 B line in ~3.3 ns).
+func NewArbiter(eng *sim.Engine, n int, perLine sim.Time) *Arbiter {
+	if n <= 0 {
+		panic("netmodel: arbiter needs at least one instance")
+	}
+	if perLine <= 0 {
+		perLine = 4
+	}
+	return &Arbiter{eng: eng, perLine: perLine, queues: make([][]func(), n)}
+}
+
+// Request asks for the bus on behalf of an instance for `lines` cache
+// lines; fn runs when the transfer completes.
+func (a *Arbiter) Request(instance, lines int, fn func()) {
+	if instance < 0 || instance >= len(a.queues) {
+		panic("netmodel: arbiter instance out of range")
+	}
+	if lines < 1 {
+		lines = 1
+	}
+	a.queues[instance] = append(a.queues[instance], func() {
+		a.eng.After(sim.Time(lines)*a.perLine, func() {
+			a.Transfers++
+			a.inService = false
+			a.dispatch()
+			fn()
+		})
+	})
+	if !a.inService {
+		a.dispatch()
+	}
+}
+
+func (a *Arbiter) dispatch() {
+	if a.inService {
+		return
+	}
+	for i := 0; i < len(a.queues); i++ {
+		idx := (a.next + i) % len(a.queues)
+		if len(a.queues[idx]) > 0 {
+			job := a.queues[idx][0]
+			a.queues[idx] = a.queues[idx][1:]
+			a.next = (idx + 1) % len(a.queues)
+			a.inService = true
+			job()
+			return
+		}
+	}
+}

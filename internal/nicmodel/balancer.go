@@ -1,0 +1,81 @@
+package nicmodel
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// BalancerKind selects the load balancing scheme steering incoming RPCs to
+// NIC flows (§4.4.2, §5.7). The choice is soft-configurable per NIC
+// instance; servers specify it when registering connections.
+type BalancerKind int
+
+// Load balancing schemes.
+const (
+	// BalancerUniform distributes incoming RPCs evenly (round-robin) over
+	// flows — "dynamic uniform steering". Right for stateless tiers.
+	BalancerUniform BalancerKind = iota
+	// BalancerStatic steers by the flow recorded in the connection tuple —
+	// "static load balancing": responses return to the flow the request
+	// came from.
+	BalancerStatic
+	// BalancerObjectLevel hashes the request key to a flow (MICA's
+	// object-level core affinity, implemented on the FPGA for §5.7):
+	// requests for the same key always reach the same partition.
+	BalancerObjectLevel
+)
+
+func (k BalancerKind) String() string {
+	switch k {
+	case BalancerUniform:
+		return "uniform"
+	case BalancerStatic:
+		return "static"
+	case BalancerObjectLevel:
+		return "object-level"
+	default:
+		return fmt.Sprintf("balancer(%d)", int(k))
+	}
+}
+
+// Steer describes one steering decision's inputs.
+type Steer struct {
+	ConnFlow uint16 // flow from the connection tuple (static scheme)
+	Key      []byte // request key (object-level scheme)
+}
+
+// Balancer steers incoming RPCs to one of NFlows flow FIFOs.
+type Balancer struct {
+	kind   BalancerKind
+	nflows int
+	rr     int
+}
+
+// NewBalancer creates a balancer over nflows flows.
+func NewBalancer(kind BalancerKind, nflows int) *Balancer {
+	if nflows <= 0 {
+		panic("nicmodel: balancer needs at least one flow")
+	}
+	return &Balancer{kind: kind, nflows: nflows}
+}
+
+// Kind returns the steering scheme.
+func (b *Balancer) Kind() BalancerKind { return b.kind }
+
+// Pick returns the target flow for one request.
+func (b *Balancer) Pick(s Steer) uint16 {
+	switch b.kind {
+	case BalancerUniform:
+		f := b.rr
+		b.rr = (b.rr + 1) % b.nflows
+		return uint16(f)
+	case BalancerStatic:
+		return s.ConnFlow % uint16(b.nflows)
+	case BalancerObjectLevel:
+		h := fnv.New32a()
+		h.Write(s.Key)
+		return uint16(h.Sum32() % uint32(b.nflows))
+	default:
+		panic("nicmodel: unknown balancer kind")
+	}
+}

@@ -1,0 +1,450 @@
+package nicmodel
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dagger/internal/interconnect"
+	"dagger/internal/sim"
+	"dagger/internal/wire"
+)
+
+func TestConnectionManagerOpenLookupClose(t *testing.T) {
+	cm := NewConnectionManager(64)
+	tup := ConnTuple{SrcFlow: 3, DestAddr: 0x0A000001, LoadBalancer: BalancerStatic}
+	if err := cm.Open(7, tup); err != nil {
+		t.Fatal(err)
+	}
+	got, penalty, err := cm.Lookup(7)
+	if err != nil || penalty != 0 {
+		t.Fatalf("lookup: %v penalty %v", err, penalty)
+	}
+	if got != tup {
+		t.Fatalf("tuple = %+v, want %+v", got, tup)
+	}
+	if err := cm.Close(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cm.Lookup(7); err == nil {
+		t.Fatal("lookup of closed connection succeeded")
+	}
+}
+
+func TestConnectionManagerDoubleOpenClose(t *testing.T) {
+	cm := NewConnectionManager(16)
+	if err := cm.Open(1, ConnTuple{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Open(1, ConnTuple{}); err == nil {
+		t.Fatal("double open succeeded")
+	}
+	if err := cm.Close(2); err == nil {
+		t.Fatal("close of unopened connection succeeded")
+	}
+}
+
+func TestConnectionManagerConflictMiss(t *testing.T) {
+	cm := NewConnectionManager(4) // ids 1 and 5 conflict (same LSBs)
+	a := ConnTuple{SrcFlow: 1}
+	b := ConnTuple{SrcFlow: 2}
+	if err := cm.Open(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Open(5, b); err != nil {
+		t.Fatal(err)
+	}
+	// id 5 displaced id 1 in the direct-mapped slot; looking up 1 must
+	// miss to host memory with a penalty, then be re-cached.
+	got, penalty, err := cm.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if penalty != HostLookupPenalty {
+		t.Fatalf("penalty = %v, want %v", penalty, HostLookupPenalty)
+	}
+	if got != a {
+		t.Fatalf("tuple = %+v, want %+v", got, a)
+	}
+	// Now 1 is cached; 5 misses.
+	if _, p, _ := cm.Lookup(1); p != 0 {
+		t.Fatal("re-cached entry still misses")
+	}
+	if _, p, _ := cm.Lookup(5); p != HostLookupPenalty {
+		t.Fatal("displaced entry should miss")
+	}
+	if cm.HitRate() >= 1 || cm.HitRate() <= 0 {
+		t.Fatalf("hit rate = %v", cm.HitRate())
+	}
+}
+
+// Property: with any open/lookup sequence, Lookup always returns the tuple
+// most recently opened for that id, regardless of cache conflicts.
+func TestConnectionManagerCoherenceProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		cm := NewConnectionManager(8)
+		model := map[uint32]ConnTuple{}
+		for i, raw := range ids {
+			id := uint32(raw % 32)
+			if _, open := model[id]; !open {
+				tup := ConnTuple{SrcFlow: uint16(i)}
+				if err := cm.Open(id, tup); err != nil {
+					return false
+				}
+				model[id] = tup
+			} else {
+				got, _, err := cm.Lookup(id)
+				if err != nil || got != model[id] {
+					return false
+				}
+			}
+		}
+		return cm.OpenCount() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectionManagerLimits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized connection cache did not panic")
+		}
+	}()
+	NewConnectionManager(MaxCachedConnections + 1)
+}
+
+func TestBalancerUniformRoundRobin(t *testing.T) {
+	b := NewBalancer(BalancerUniform, 4)
+	counts := make([]int, 4)
+	for i := 0; i < 100; i++ {
+		counts[b.Pick(Steer{})]++
+	}
+	for f, c := range counts {
+		if c != 25 {
+			t.Fatalf("flow %d got %d, want 25", f, c)
+		}
+	}
+}
+
+func TestBalancerStatic(t *testing.T) {
+	b := NewBalancer(BalancerStatic, 4)
+	for f := uint16(0); f < 4; f++ {
+		if got := b.Pick(Steer{ConnFlow: f}); got != f {
+			t.Fatalf("static pick = %d, want %d", got, f)
+		}
+	}
+	// Out-of-range conn flow wraps rather than panicking.
+	if got := b.Pick(Steer{ConnFlow: 7}); got != 3 {
+		t.Fatalf("wrapped pick = %d, want 3", got)
+	}
+}
+
+func TestBalancerObjectLevelAffinity(t *testing.T) {
+	b := NewBalancer(BalancerObjectLevel, 8)
+	// Same key always lands on the same flow (MICA's requirement, §5.7).
+	k := []byte("user:42")
+	first := b.Pick(Steer{Key: k})
+	for i := 0; i < 50; i++ {
+		if b.Pick(Steer{Key: k}) != first {
+			t.Fatal("object-level steering not stable for a key")
+		}
+	}
+	// Different keys spread across flows.
+	seen := map[uint16]bool{}
+	for i := 0; i < 200; i++ {
+		seen[b.Pick(Steer{Key: []byte(fmt.Sprintf("key-%d", i))})] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("object-level steering used only %d/8 flows", len(seen))
+	}
+}
+
+func TestTxPathEnqueueSchedule(t *testing.T) {
+	tx := NewTxPath(4, 2)
+	if tx.TableSize() != 8 {
+		t.Fatalf("table size = %d, want 8", tx.TableSize())
+	}
+	for i := 0; i < 4; i++ {
+		if !tx.Enqueue(0, uint64(i), []byte{byte(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	// Flow 1 has fewer than a batch: not schedulable without force.
+	tx.Enqueue(1, 100, []byte{0xAA})
+	data, flow, ok := tx.ScheduleBatch(false)
+	if !ok || flow != 0 || len(data) != 4 {
+		t.Fatalf("schedule = %v flow %d ok %v", data, flow, ok)
+	}
+	for i, d := range data {
+		if d[0] != byte(i) {
+			t.Fatalf("batch order wrong at %d", i)
+		}
+	}
+	if _, _, ok := tx.ScheduleBatch(false); ok {
+		t.Fatal("partial batch scheduled without force")
+	}
+	data, flow, ok = tx.ScheduleBatch(true)
+	if !ok || flow != 1 || len(data) != 1 || data[0][0] != 0xAA {
+		t.Fatal("forced flush failed")
+	}
+	if tx.FreeSlots() != tx.TableSize() {
+		t.Fatalf("slots leaked: %d free of %d", tx.FreeSlots(), tx.TableSize())
+	}
+}
+
+func TestTxPathBackpressure(t *testing.T) {
+	tx := NewTxPath(2, 1)
+	if !tx.Enqueue(0, 1, nil) || !tx.Enqueue(0, 2, nil) {
+		t.Fatal("fill failed")
+	}
+	if tx.Enqueue(0, 3, nil) {
+		t.Fatal("enqueue into full table succeeded")
+	}
+	if tx.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", tx.Stalls)
+	}
+}
+
+// Property: slots never leak — after any enqueue/schedule sequence,
+// free + queued == table size, and scheduled batches preserve FIFO order
+// within a flow.
+func TestTxPathSlotConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tx := NewTxPath(3, 4)
+		queued := 0
+		nextID := uint64(0)
+		expect := make([][]uint64, 4)
+		for _, op := range ops {
+			if op%2 == 0 {
+				flow := uint16(op/2) % 4
+				if tx.Enqueue(flow, nextID, []byte{byte(nextID)}) {
+					expect[flow] = append(expect[flow], nextID)
+					queued++
+				}
+				nextID++
+			} else {
+				data, flow, ok := tx.ScheduleBatch(op%4 == 3)
+				if ok {
+					for i, d := range data {
+						want := expect[flow][i]
+						if d[0] != byte(want) {
+							return false
+						}
+					}
+					expect[flow] = expect[flow][len(data):]
+					queued -= len(data)
+				}
+			}
+			if tx.FreeSlots()+queued != tx.TableSize() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHCCHitMiss(t *testing.T) {
+	h := NewHCC()
+	if p := h.Access(0x1000); p != HCCMissPenalty {
+		t.Fatalf("cold access penalty = %v", p)
+	}
+	if p := h.Access(0x1000); p != 0 {
+		t.Fatalf("warm access penalty = %v", p)
+	}
+	if p := h.Access(0x1008); p != 0 {
+		t.Fatal("same-line access missed")
+	}
+	h.Invalidate(0x1000)
+	if p := h.Access(0x1000); p != HCCMissPenalty {
+		t.Fatal("invalidated line still hit")
+	}
+	if h.HitRate() <= 0 || h.HitRate() >= 1 {
+		t.Fatalf("hit rate = %v", h.HitRate())
+	}
+}
+
+func TestHCCConflict(t *testing.T) {
+	h := NewHCC()
+	a := uint64(0)
+	b := a + HCCSizeBytes // maps to the same direct-mapped slot
+	h.Access(a)
+	h.Access(b)
+	if p := h.Access(a); p != HCCMissPenalty {
+		t.Fatal("conflicting line should have been evicted")
+	}
+}
+
+func TestHardConfigValidation(t *testing.T) {
+	good := HardConfig{NFlows: 64, ConnCacheSize: 65536, Iface: interconnect.Config{Kind: interconnect.UPI, Batch: 4}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []HardConfig{
+		{NFlows: 0, ConnCacheSize: 64, Iface: interconnect.Config{Kind: interconnect.UPI, Batch: 1}},
+		{NFlows: MaxNFlows + 1, ConnCacheSize: 64, Iface: interconnect.Config{Kind: interconnect.UPI, Batch: 1}},
+		{NFlows: 4, ConnCacheSize: 0, Iface: interconnect.Config{Kind: interconnect.UPI, Batch: 1}},
+		{NFlows: 4, ConnCacheSize: 64, Iface: interconnect.Config{Kind: interconnect.MMIO, Batch: 2}},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func newTestNIC(t *testing.T, eng *sim.Engine) *NIC {
+	t.Helper()
+	n, err := NewNIC(eng, HardConfig{
+		NFlows:        8,
+		ConnCacheSize: 1024,
+		Iface:         interconnect.Config{Kind: interconnect.UPI, Batch: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNICSoftReconfigure(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNIC(t, eng)
+	if n.Soft().Batch != 4 || n.Soft().ActiveFlows != 8 {
+		t.Fatalf("defaults = %+v", n.Soft())
+	}
+	s := n.Soft()
+	s.Batch = 1
+	s.ActiveFlows = 2
+	s.Balancer = BalancerObjectLevel
+	if err := n.Reconfigure(s); err != nil {
+		t.Fatal(err)
+	}
+	if n.Balancer.Kind() != BalancerObjectLevel {
+		t.Fatal("balancer not rebuilt")
+	}
+	if n.TX.TableSize() != 2 {
+		t.Fatalf("tx table = %d, want batch*flows = 2", n.TX.TableSize())
+	}
+	s.ActiveFlows = 9 // exceeds hard NFlows
+	if err := n.Reconfigure(s); err == nil {
+		t.Fatal("overscaled soft config accepted")
+	}
+	if n.Monitor.SoftReconfig.Load() != 2 {
+		t.Fatalf("reconfig count = %d, want 2", n.Monitor.SoftReconfig.Load())
+	}
+}
+
+func TestNICPipelineDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNIC(t, eng)
+	m := &wire.Message{Payload: make([]byte, 16)} // 1 line
+	d1 := n.PipelineDelay(m)
+	if d1 != n.Timing.Transit+n.Timing.PerRPC {
+		t.Fatalf("idle pipeline delay = %v", d1)
+	}
+	// Immediately-following message queues behind the first's occupancy.
+	d2 := n.PipelineDelay(m)
+	if d2 <= d1 {
+		t.Fatalf("back-to-back delay %v not greater than idle %v", d2, d1)
+	}
+	// Multi-line message occupies longer.
+	big := &wire.Message{Payload: make([]byte, 500)}
+	eng2 := sim.NewEngine()
+	n2 := newTestNIC(t, eng2)
+	if n2.PipelineDelay(big) <= d1 {
+		t.Fatal("multi-line RPC should take longer than single-line")
+	}
+}
+
+func TestTXRingSizeFor(t *testing.T) {
+	// §4.4: for 12.4 Mrps per flow the ring needs ~10 entries.
+	if n := TXRingSizeFor(12.4e6); n != 10 {
+		t.Fatalf("ring size for 12.4 Mrps = %d, want 10", n)
+	}
+	if n := TXRingSizeFor(1000); n != 1 {
+		t.Fatalf("ring size floor = %d, want 1", n)
+	}
+}
+
+func TestSpecTable(t *testing.T) {
+	spec := SpecTable()
+	if len(spec) != 7 {
+		t.Fatalf("spec rows = %d, want 7", len(spec))
+	}
+	if spec[3].Parameter != "Max number of NIC flows" || spec[3].Value != "512" {
+		t.Fatalf("flows row = %+v", spec[3])
+	}
+}
+
+func TestRxPathBatching(t *testing.T) {
+	rx := NewRxPath(4, 16)
+	for i := 0; i < 3; i++ {
+		if rx.Deliver(RxEntry{RPCID: uint64(i)}) {
+			t.Fatalf("batch ready after %d entries", i+1)
+		}
+	}
+	if !rx.Deliver(RxEntry{RPCID: 3}) {
+		t.Fatal("4th entry did not complete the batch")
+	}
+	if rx.Buffered() != 0 || rx.Pending() != 4 {
+		t.Fatalf("buffered=%d pending=%d", rx.Buffered(), rx.Pending())
+	}
+	got := rx.Complete(0)
+	if len(got) != 4 {
+		t.Fatalf("completed %d", len(got))
+	}
+	for i, e := range got {
+		if e.RPCID != uint64(i) {
+			t.Fatal("completion order broken")
+		}
+	}
+	if rx.Batches != 1 || rx.Delivered != 4 {
+		t.Fatalf("counters: batches=%d delivered=%d", rx.Batches, rx.Delivered)
+	}
+}
+
+func TestRxPathFlushPartialBatch(t *testing.T) {
+	rx := NewRxPath(4, 16)
+	rx.Deliver(RxEntry{RPCID: 1})
+	if !rx.Flush() {
+		t.Fatal("flush of partial batch failed")
+	}
+	if rx.Flush() {
+		t.Fatal("flush of empty buffer reported work")
+	}
+	if got := rx.Complete(0); len(got) != 1 || got[0].RPCID != 1 {
+		t.Fatalf("flush delivery: %v", got)
+	}
+}
+
+func TestRxPathOverflowDrops(t *testing.T) {
+	rx := NewRxPath(2, 2)
+	rx.Deliver(RxEntry{RPCID: 1})
+	rx.Deliver(RxEntry{RPCID: 2}) // batch -> pending, buffer empty
+	if !rx.Deliver(RxEntry{RPCID: 3}) {
+		// 3rd entry buffered; 4th would exceed cap (2 pending + ...)
+		t.Log("third buffered without batch")
+	}
+	dropped := rx.Dropped
+	rx.Deliver(RxEntry{RPCID: 4})
+	if rx.Dropped <= dropped {
+		t.Fatal("overflow did not drop")
+	}
+}
+
+func TestRxPathCompleteBounded(t *testing.T) {
+	rx := NewRxPath(1, 8)
+	for i := 0; i < 5; i++ {
+		rx.Deliver(RxEntry{RPCID: uint64(i)})
+	}
+	if got := rx.Complete(2); len(got) != 2 {
+		t.Fatalf("bounded complete = %d", len(got))
+	}
+	if rx.Pending() != 3 {
+		t.Fatalf("pending = %d", rx.Pending())
+	}
+}

@@ -1,0 +1,94 @@
+package nicmodel
+
+// The RX path (Figure 8, §4.4): the NIC's TX FSM places newly received RPC
+// objects into per-flow RX buffers, which accumulate a batch of B requests
+// before handing them to the completion queue (so the RX buffer size is
+// B x the mean RPC size), and asynchronously returns freed entries during
+// bookkeeping.
+
+// RxEntry is one received RPC waiting for completion-queue handoff.
+type RxEntry struct {
+	RPCID uint64
+	Data  []byte
+}
+
+// RxPath models one flow's RX buffer and its batching into the completion
+// queue.
+type RxPath struct {
+	batch   int
+	buf     []RxEntry
+	cap     int
+	pending []RxEntry
+
+	Received  uint64
+	Delivered uint64
+	Dropped   uint64
+	Batches   uint64
+}
+
+// NewRxPath creates an RX path with batching width B and a buffer of
+// capEntries entries (0 sizes it at 4x the batch, the paper's B=4 sweet
+// spot times a safety factor).
+func NewRxPath(batch, capEntries int) *RxPath {
+	if batch <= 0 {
+		panic("nicmodel: rx batch must be positive")
+	}
+	if capEntries <= 0 {
+		capEntries = 4 * batch
+	}
+	if capEntries < batch {
+		capEntries = batch
+	}
+	return &RxPath{batch: batch, cap: capEntries}
+}
+
+// Deliver places one received RPC into the RX buffer. When a full batch has
+// accumulated, it is moved to the pending completion set and ready=true is
+// returned. A full buffer drops the RPC (best-effort).
+func (r *RxPath) Deliver(e RxEntry) (ready bool) {
+	if len(r.buf)+len(r.pending) >= r.cap {
+		r.Dropped++
+		return false
+	}
+	r.buf = append(r.buf, e)
+	r.Received++
+	if len(r.buf) >= r.batch {
+		r.pending = append(r.pending, r.buf...)
+		r.buf = r.buf[:0]
+		r.Batches++
+		return true
+	}
+	return false
+}
+
+// Flush forces a partial batch out (the soft-configured batch timeout under
+// low load). It reports whether anything became pending.
+func (r *RxPath) Flush() bool {
+	if len(r.buf) == 0 {
+		return false
+	}
+	r.pending = append(r.pending, r.buf...)
+	r.buf = r.buf[:0]
+	r.Batches++
+	return true
+}
+
+// Complete drains up to max pending entries to the completion queue
+// (all if max <= 0), freeing their buffer slots.
+func (r *RxPath) Complete(max int) []RxEntry {
+	n := len(r.pending)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]RxEntry, n)
+	copy(out, r.pending[:n])
+	r.pending = r.pending[n:]
+	r.Delivered += uint64(n)
+	return out
+}
+
+// Buffered returns the entries accumulated toward the next batch.
+func (r *RxPath) Buffered() int { return len(r.buf) }
+
+// Pending returns the entries awaiting completion-queue pickup.
+func (r *RxPath) Pending() int { return len(r.pending) }

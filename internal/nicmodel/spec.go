@@ -1,0 +1,23 @@
+package nicmodel
+
+// Spec reports the implementation specification of the Dagger NIC as in
+// Table 1 of the paper. Clock frequencies and resource usage are properties
+// of the synthesized design; we carry them as the model's nameplate data so
+// `daggerbench -run table1` can print the table.
+type Spec struct {
+	Parameter string
+	Value     string
+}
+
+// SpecTable returns Table 1's rows.
+func SpecTable() []Spec {
+	return []Spec{
+		{"CPU-NIC interface clock frequency, MHz", "200 - 300"},
+		{"RPC unit clock frequency, MHz", "200"},
+		{"Transport clock frequency, MHz", "200"},
+		{"Max number of NIC flows", "512"},
+		{"FPGA resource usage, LUT (K)", "87.1 (20%)"},
+		{"FPGA resource usage, BRAM blocks (M20K)", "555 (20%)"},
+		{"FPGA resource usage, registers (K)", "120.8"},
+	}
+}

@@ -1,0 +1,123 @@
+package nicmodel
+
+import (
+	"fmt"
+)
+
+// The TX path (Figure 9B): instead of buffering whole RPCs in per-flow
+// FIFOs, incoming RPCs land in a shared request buffer (a lookup table
+// indexed by slot_id), a free-slot FIFO tracks free entries, and the
+// per-flow FIFOs carry only slot references. The flow scheduler picks a
+// flow FIFO holding a full batch and hands the referenced payloads to the
+// CCI-P transmitter.
+
+// RequestSlot is one request-table entry.
+type RequestSlot struct {
+	Valid bool
+	RPCID uint64
+	Flow  uint16
+	Data  []byte
+}
+
+// TxPath models the request buffer, free-slot FIFO, flow FIFOs, and the
+// flow scheduler. Table size is B * NFlows entries (§4.4.2).
+type TxPath struct {
+	batch  int
+	nflows int
+	table  []RequestSlot
+	free   []uint32 // free-slot FIFO
+	fifos  [][]uint32
+
+	rrCursor int
+
+	Enqueued  uint64
+	Scheduled uint64
+	Stalls    uint64 // enqueue attempts that found no free slot
+}
+
+// NewTxPath creates a TX path with batch width B over nflows flows.
+func NewTxPath(batch, nflows int) *TxPath {
+	if batch <= 0 || nflows <= 0 {
+		panic("nicmodel: txpath needs positive batch and flows")
+	}
+	n := batch * nflows
+	t := &TxPath{
+		batch:  batch,
+		nflows: nflows,
+		table:  make([]RequestSlot, n),
+		free:   make([]uint32, 0, n),
+		fifos:  make([][]uint32, nflows),
+	}
+	for i := 0; i < n; i++ {
+		t.free = append(t.free, uint32(i))
+	}
+	return t
+}
+
+// TableSize returns the request-table capacity (B * NFlows).
+func (t *TxPath) TableSize() int { return len(t.table) }
+
+// FreeSlots returns the number of free request-table entries.
+func (t *TxPath) FreeSlots() int { return len(t.free) }
+
+// Enqueue stores an RPC into the request table and pushes its slot
+// reference onto the target flow's FIFO. It returns false when no slot is
+// free (the hardware would exert back-pressure on the RPC unit).
+func (t *TxPath) Enqueue(flow uint16, rpcID uint64, data []byte) bool {
+	if int(flow) >= t.nflows {
+		panic(fmt.Sprintf("nicmodel: flow %d out of range (%d flows)", flow, t.nflows))
+	}
+	if len(t.free) == 0 {
+		t.Stalls++
+		return false
+	}
+	slot := t.free[0]
+	t.free = t.free[1:]
+	t.table[slot] = RequestSlot{Valid: true, RPCID: rpcID, Flow: flow, Data: data}
+	t.fifos[flow] = append(t.fifos[flow], slot)
+	t.Enqueued++
+	return true
+}
+
+// FlowDepth returns the number of queued references for a flow.
+func (t *TxPath) FlowDepth(flow uint16) int { return len(t.fifos[flow]) }
+
+// ScheduleBatch implements the flow scheduler: starting from a round-robin
+// cursor it picks the first flow FIFO holding at least a full batch (or, if
+// force is set, any non-empty FIFO — used by the soft-configured batch
+// timeout to flush under low load), dequeues up to one batch of references,
+// reads the payloads out of the request table, and returns the slots to the
+// free FIFO. It returns the batch and the source flow, or ok=false when
+// nothing is eligible.
+func (t *TxPath) ScheduleBatch(force bool) (data [][]byte, flow uint16, ok bool) {
+	for i := 0; i < t.nflows; i++ {
+		f := (t.rrCursor + i) % t.nflows
+		depth := len(t.fifos[f])
+		if depth == 0 {
+			continue
+		}
+		if depth < t.batch && !force {
+			continue
+		}
+		n := t.batch
+		if depth < n {
+			n = depth
+		}
+		refs := t.fifos[f][:n]
+		t.fifos[f] = t.fifos[f][n:]
+		out := make([][]byte, 0, n)
+		for _, slot := range refs {
+			s := &t.table[slot]
+			if !s.Valid {
+				panic("nicmodel: scheduled reference to invalid slot")
+			}
+			out = append(out, s.Data)
+			s.Valid = false
+			t.free = append(t.free, slot)
+		}
+		t.rrCursor = (f + 1) % t.nflows
+		t.Scheduled += uint64(n)
+		return out, uint16(f), true
+	}
+	return nil, 0, false
+}

@@ -1,0 +1,130 @@
+// Package ringbuf provides the bounded lock-free rings that back Dagger's
+// software side of the CPU–NIC interface: per-flow RX/TX rings and the
+// free-slot FIFOs used for buffer bookkeeping (§4.4, Figure 8).
+//
+// The implementation is a Vyukov-style bounded MPMC queue with per-slot
+// sequence numbers. Dagger normally uses it single-producer/single-consumer
+// (one RpcClient or server dispatch thread per ring, the paper's lock-free
+// provisioning), but the stronger MPMC guarantee also covers the shared-ring
+// SRQ configuration where several connections share one RpcClient ring.
+package ringbuf
+
+import (
+	"sync/atomic"
+)
+
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// Ring is a bounded lock-free queue. Create with New.
+type Ring[T any] struct {
+	mask uint64
+	buf  []slot[T]
+
+	_   [56]byte // keep enqueue/dequeue cursors on separate cache lines
+	enq atomic.Uint64
+	_   [56]byte
+	deq atomic.Uint64
+}
+
+// New creates a ring with the given capacity, rounded up to a power of two
+// (minimum 2).
+func New[T any](capacity int) *Ring[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring[T]{mask: uint64(n - 1), buf: make([]slot[T], n)}
+	for i := range r.buf {
+		r.buf[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns an instantaneous (racy under concurrency) occupancy estimate.
+func (r *Ring[T]) Len() int {
+	d := r.enq.Load() - r.deq.Load()
+	if d > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(d)
+}
+
+// Push enqueues v, returning false if the ring is full.
+func (r *Ring[T]) Push(v T) bool {
+	for {
+		pos := r.enq.Load()
+		s := &r.buf[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			return false // full
+		}
+		// seq > pos: another producer advanced; retry.
+	}
+}
+
+// Pop dequeues the oldest value, returning false if the ring is empty.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	for {
+		pos := r.deq.Load()
+		s := &r.buf[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v := s.val
+				s.val = zero
+				s.seq.Store(pos + uint64(len(r.buf)))
+				return v, true
+			}
+		case seq < pos+1:
+			return zero, false // empty
+		}
+	}
+}
+
+// FreeList tracks free slot indices for a request table (the paper's "Free
+// Slot FIFO", Figure 9B). It is a Ring[uint32] pre-filled with 0..n-1.
+type FreeList struct {
+	ring *Ring[uint32]
+	size int
+}
+
+// NewFreeList creates a free list holding slot ids 0..n-1, all initially
+// free.
+func NewFreeList(n int) *FreeList {
+	f := &FreeList{ring: New[uint32](n), size: n}
+	for i := 0; i < n; i++ {
+		if !f.ring.Push(uint32(i)) {
+			panic("ringbuf: free list seed overflow")
+		}
+	}
+	return f
+}
+
+// Get removes a free slot id, returning false if none are free.
+func (f *FreeList) Get() (uint32, bool) { return f.ring.Pop() }
+
+// Put returns a slot id to the free list. Returning more ids than the list's
+// size indicates a double-free and panics.
+func (f *FreeList) Put(id uint32) {
+	if !f.ring.Push(id) {
+		panic("ringbuf: free list overflow (double free?)")
+	}
+}
+
+// Size returns the total number of slots managed.
+func (f *FreeList) Size() int { return f.size }

@@ -1,0 +1,232 @@
+package ringbuf
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := New[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %v,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	if New[int](5).Cap() != 8 {
+		t.Fatal("capacity 5 should round to 8")
+	}
+	if New[int](1).Cap() != 2 {
+		t.Fatal("capacity 1 should round to 2")
+	}
+	if New[int](0).Cap() != 2 {
+		t.Fatal("capacity 0 should round to 2")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := New[int](2)
+	for round := 0; round < 1000; round++ {
+		if !r.Push(round) {
+			t.Fatalf("push failed at round %d", round)
+		}
+		v, ok := r.Pop()
+		if !ok || v != round {
+			t.Fatalf("round %d: got %v,%v", round, v, ok)
+		}
+	}
+}
+
+// Property: single-threaded push/pop sequences behave exactly like a FIFO.
+func TestRingFIFOProperty(t *testing.T) {
+	f := func(ops []int8) bool {
+		r := New[int](64)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			if op >= 0 {
+				pushed := r.Push(next)
+				if pushed != (len(model) < 64) {
+					return false
+				}
+				if pushed {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := r.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return r.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingSPSCConcurrent(t *testing.T) {
+	r := New[uint64](256)
+	const n = 50_000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var sum uint64
+	go func() {
+		defer wg.Done()
+		for c := 0; c < n; {
+			if v, ok := r.Pop(); ok {
+				if v != uint64(c) {
+					t.Errorf("out of order: got %d want %d", v, c)
+					return
+				}
+				sum += v
+				c++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	if want := uint64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestRingMPMCConcurrent(t *testing.T) {
+	r := New[int](128)
+	const producers, perProducer = 4, 5_000
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; {
+				if r.Push(1) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	total := 0
+	go func() {
+		defer close(done)
+		for total < producers*perProducer {
+			if v, ok := r.Pop(); ok {
+				total += v
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if total != producers*perProducer {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestFreeList(t *testing.T) {
+	f := NewFreeList(8)
+	seen := map[uint32]bool{}
+	for i := 0; i < 8; i++ {
+		id, ok := f.Get()
+		if !ok {
+			t.Fatalf("get %d failed", i)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate slot %d", id)
+		}
+		seen[id] = true
+	}
+	if _, ok := f.Get(); ok {
+		t.Fatal("get from exhausted free list succeeded")
+	}
+	f.Put(3)
+	id, ok := f.Get()
+	if !ok || id != 3 {
+		t.Fatalf("got %d,%v want 3", id, ok)
+	}
+}
+
+func TestFreeListAllIDsInRange(t *testing.T) {
+	f := NewFreeList(5)
+	for i := 0; i < 5; i++ {
+		id, ok := f.Get()
+		if !ok || id >= 5 {
+			t.Fatalf("id %d out of range", id)
+		}
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := New[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(i)
+		r.Pop()
+	}
+}
+
+func BenchmarkRingSPSC(b *testing.B) {
+	r := New[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for c := 0; c < b.N; {
+			if _, ok := r.Pop(); ok {
+				c++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; {
+		if r.Push(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}

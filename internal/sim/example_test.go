@@ -1,0 +1,42 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"dagger/internal/sim"
+)
+
+// Example schedules a small event chain on the deterministic engine.
+func Example() {
+	eng := sim.NewEngine()
+	eng.After(100, func() {
+		fmt.Println("bus transfer done at", eng.Now())
+		eng.After(50, func() {
+			fmt.Println("pipeline exit at", eng.Now())
+		})
+	})
+	eng.Run()
+	// Output:
+	// bus transfer done at 100ns
+	// pipeline exit at 150ns
+}
+
+// ExampleResource shows FIFO queueing at a single-server resource.
+func ExampleResource() {
+	eng := sim.NewEngine()
+	core := sim.NewResource(eng, 1)
+	for i := 1; i <= 3; i++ {
+		i := i
+		core.Acquire(func() {
+			eng.After(10, func() {
+				fmt.Printf("request %d served at %v\n", i, eng.Now())
+				core.Release()
+			})
+		})
+	}
+	eng.Run()
+	// Output:
+	// request 1 served at 10ns
+	// request 2 served at 20ns
+	// request 3 served at 30ns
+}

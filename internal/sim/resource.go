@@ -1,0 +1,94 @@
+package sim
+
+// Resource models a server with fixed capacity and a FIFO wait queue: CPU
+// cores, bus endpoints, switch ports. Acquire either grants a slot
+// immediately or enqueues the requester; Release hands the freed slot to the
+// longest-waiting requester.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	busy     int
+	waiters  []func()
+
+	// Stats accumulated over the run.
+	granted     uint64
+	queuedTotal uint64
+	busyTime    Time
+	lastChange  Time
+}
+
+// NewResource creates a resource with the given slot capacity on eng.
+// Capacity must be positive.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Acquire requests a slot. fn runs (as a new event at the current time) once
+// a slot is granted. The caller must eventually call Release for every grant.
+func (r *Resource) Acquire(fn func()) {
+	if r.busy < r.capacity {
+		r.accountBusy()
+		r.busy++
+		r.granted++
+		r.eng.After(0, fn)
+		return
+	}
+	r.queuedTotal++
+	r.waiters = append(r.waiters, fn)
+}
+
+// TryAcquire grants a slot immediately if one is free and returns true;
+// otherwise it returns false without queueing.
+func (r *Resource) TryAcquire() bool {
+	if r.busy < r.capacity {
+		r.accountBusy()
+		r.busy++
+		r.granted++
+		return true
+	}
+	return false
+}
+
+// Release frees a slot, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.busy <= 0 {
+		panic("sim: release of idle resource")
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.granted++
+		r.eng.After(0, next)
+		return // slot transfers directly; busy count unchanged
+	}
+	r.accountBusy()
+	r.busy--
+}
+
+// InUse returns the number of currently held slots.
+func (r *Resource) InUse() int { return r.busy }
+
+// QueueLen returns the number of waiting requesters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Granted returns the total number of grants.
+func (r *Resource) Granted() uint64 { return r.granted }
+
+// Utilization returns the time-averaged fraction of busy capacity since the
+// start of the simulation.
+func (r *Resource) Utilization() float64 {
+	r.accountBusy()
+	if r.eng.now == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / (float64(r.eng.now) * float64(r.capacity))
+}
+
+func (r *Resource) accountBusy() {
+	dt := r.eng.now - r.lastChange
+	r.busyTime += Time(int64(dt) * int64(r.busy))
+	r.lastChange = r.eng.now
+}

@@ -1,0 +1,71 @@
+package stats
+
+import "math"
+
+// Summary accumulates a running mean and variance using Welford's algorithm,
+// for metrics where full histograms are unnecessary (utilizations, drop
+// rates, queue depths).
+type Summary struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+// N returns the observation count.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the running mean, or 0 when empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Variance returns the sample variance, or 0 with fewer than two samples.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}

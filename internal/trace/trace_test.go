@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCollectAndAnalyze(t *testing.T) {
+	c := NewCollector(0)
+	for i := 0; i < 10; i++ {
+		id := c.Begin()
+		c.Record(id, Span{Service: "Flight", Start: 0, Queue: 50, Work: 1000, End: 1050})
+		c.Record(id, Span{Service: "Baggage", Start: 0, Queue: 10, Work: 100, End: 110})
+	}
+	rep := c.Analyze()
+	if rep.Bottleneck() != "Flight" {
+		t.Fatalf("bottleneck = %q, want Flight", rep.Bottleneck())
+	}
+	if len(rep.Profiles) != 2 {
+		t.Fatalf("profiles = %d", len(rep.Profiles))
+	}
+	flight := rep.Profiles[0]
+	if flight.Spans != 10 || flight.MeanBusy() != 1000 || flight.MeanQueue() != 50 {
+		t.Fatalf("flight profile = %+v", flight)
+	}
+	if !strings.Contains(rep.String(), "Flight") {
+		t.Fatal("report text missing service")
+	}
+}
+
+func TestSpanTotal(t *testing.T) {
+	sp := Span{Start: 100, End: 350}
+	if sp.Total() != 250 {
+		t.Fatalf("total = %v", sp.Total())
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 10; i++ {
+		id := c.Begin()
+		c.Record(id, Span{Service: "S", Work: 1, End: 1})
+	}
+	if got := len(c.Traces()); got != 3 {
+		t.Fatalf("retained %d traces, want 3", got)
+	}
+	// Records for dropped traces are ignored, not panicking.
+	c.Record(999, Span{Service: "S"})
+}
+
+func TestEmptyReport(t *testing.T) {
+	c := NewCollector(0)
+	rep := c.Analyze()
+	if rep.Bottleneck() != "" {
+		t.Fatal("empty collector has no bottleneck")
+	}
+}
+
+func TestConcurrentCollection(t *testing.T) {
+	c := NewCollector(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := c.Begin()
+				c.Record(id, Span{Service: "X", Work: 5, End: 5})
+			}
+		}()
+	}
+	wg.Wait()
+	rep := c.Analyze()
+	if rep.Profiles[0].Spans != 1600 {
+		t.Fatalf("spans = %d, want 1600", rep.Profiles[0].Spans)
+	}
+}

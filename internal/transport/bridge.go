@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"dagger/internal/fabric"
+)
+
+// Bridge connects a local fabric to remote peers over a PacketConn: it
+// installs itself as the fabric's gateway for non-local destinations and
+// injects inbound frames into the fabric with the usual NIC-side steering.
+// One Bridge per host; the route table is the cross-host extension of the
+// ToR model's static switching table.
+type Bridge struct {
+	fab    *fabric.Fabric
+	conn   PacketConn
+	routes *RouteTable
+	closed atomic.Bool
+
+	Forwarded atomic.Uint64
+	Injected  atomic.Uint64
+	InjectErr atomic.Uint64
+	NoPeer    atomic.Uint64
+}
+
+// NewBridge attaches a bridge to fab over conn using routes. The bridge
+// takes ownership of the conn's receive handler.
+func NewBridge(fab *fabric.Fabric, conn PacketConn, routes *RouteTable) *Bridge {
+	b := &Bridge{fab: fab, conn: conn, routes: routes}
+	conn.SetHandler(b.onFrame)
+	fab.SetGateway(b.forward)
+	return b
+}
+
+// Endpoint returns the bridge's own transport endpoint (to put in peers'
+// route tables).
+func (b *Bridge) Endpoint() string { return b.conn.LocalEndpoint() }
+
+func (b *Bridge) forward(dstAddr uint32, frame []byte) error {
+	if b.closed.Load() {
+		return ErrBridgeClose
+	}
+	ep, ok := b.routes.Resolve(dstAddr)
+	if !ok {
+		b.NoPeer.Add(1)
+		return ErrNoPeer
+	}
+	b.Forwarded.Add(1)
+	return b.conn.Send(ep, frame)
+}
+
+func (b *Bridge) onFrame(frame []byte, _ string) {
+	if b.closed.Load() {
+		return
+	}
+	if err := b.fab.Inject(frame); err != nil {
+		b.InjectErr.Add(1)
+		return
+	}
+	b.Injected.Add(1)
+}
+
+// Close detaches the bridge and closes its conn.
+func (b *Bridge) Close() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	b.fab.SetGateway(nil)
+	return b.conn.Close()
+}

@@ -1,0 +1,333 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reliable layers the paper's missing Protocol unit over a lossy
+// PacketConn: per-peer sequence numbers, explicit per-packet
+// acknowledgements, timer-driven retransmission, duplicate suppression at
+// the receiver, and an AIMD congestion window (the "RPC-optimized ...
+// congestion control" §4.5 leaves for future work: additive increase per
+// acknowledged packet, multiplicative decrease on retransmission; packets
+// beyond the window queue at the sender). It itself implements PacketConn,
+// so a Bridge can run over either the raw datagram path (the paper's
+// pass-through Protocol unit) or the reliable one.
+type Reliable struct {
+	inner      PacketConn
+	rto        time.Duration
+	maxRetries int
+	initWnd    float64
+	maxWnd     float64
+
+	mu       sync.Mutex
+	tx       map[string]*txSession
+	rx       map[string]*rxSession
+	handler  func([]byte, string)
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Counters.
+	Retransmits atomic.Uint64
+	Duplicates  atomic.Uint64
+	GaveUp      atomic.Uint64
+}
+
+type pendingPkt struct {
+	pkt      []byte
+	deadline time.Time
+	tries    int
+}
+
+type txSession struct {
+	nextSeq uint64
+	unacked map[uint64]*pendingPkt
+	// AIMD congestion window, in packets.
+	cwnd    float64
+	waiting [][]byte // packets queued behind the window, already framed
+}
+
+// rxWindow bounds the duplicate-suppression memory per peer.
+const rxWindow = 8192
+
+type rxSession struct {
+	maxSeen uint64 // highest sequence delivered
+	seen    map[uint64]bool
+	anySeen bool
+}
+
+// Packet types on the wire.
+const (
+	pktData byte = 1
+	pktAck  byte = 2
+)
+
+// ReliableOptions tunes the protocol.
+type ReliableOptions struct {
+	// RTO is the retransmission timeout (default 20ms).
+	RTO time.Duration
+	// MaxRetries bounds retransmissions before giving up (default 10).
+	MaxRetries int
+	// InitialWindow is the starting congestion window in packets
+	// (default 32). The window grows by one packet per window of acks and
+	// halves on retransmission, floored at 1.
+	InitialWindow float64
+	// MaxWindow caps the congestion window (default 1024).
+	MaxWindow float64
+}
+
+// NewReliable wraps inner with the reliability protocol.
+func NewReliable(inner PacketConn, opts ReliableOptions) *Reliable {
+	if opts.RTO <= 0 {
+		opts.RTO = 20 * time.Millisecond
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 10
+	}
+	if opts.InitialWindow <= 0 {
+		opts.InitialWindow = 32
+	}
+	if opts.MaxWindow <= 0 {
+		opts.MaxWindow = 1024
+	}
+	r := &Reliable{
+		inner:      inner,
+		rto:        opts.RTO,
+		maxRetries: opts.MaxRetries,
+		initWnd:    opts.InitialWindow,
+		maxWnd:     opts.MaxWindow,
+		tx:         make(map[string]*txSession),
+		rx:         make(map[string]*rxSession),
+		stop:       make(chan struct{}),
+	}
+	inner.SetHandler(r.onPacket)
+	r.wg.Add(1)
+	go r.retransmitLoop()
+	return r
+}
+
+// Send transmits a datagram with at-least-once delivery (exactly-once to
+// the handler, thanks to receiver-side dedup). Packets beyond the
+// congestion window queue at the sender and drain as acks arrive.
+func (r *Reliable) Send(endpoint string, pkt []byte) error {
+	r.mu.Lock()
+	s := r.session(endpoint)
+	s.nextSeq++
+	seq := s.nextSeq
+	framed := make([]byte, 9+len(pkt))
+	framed[0] = pktData
+	binary.LittleEndian.PutUint64(framed[1:], seq)
+	copy(framed[9:], pkt)
+	if float64(len(s.unacked)) >= s.cwnd {
+		s.waiting = append(s.waiting, framed)
+		r.mu.Unlock()
+		return nil
+	}
+	s.unacked[seq] = &pendingPkt{pkt: framed, deadline: time.Now().Add(r.rto)}
+	r.mu.Unlock()
+	return r.inner.Send(endpoint, framed)
+}
+
+// session returns (creating if needed) the tx session for endpoint. Caller
+// holds r.mu.
+func (r *Reliable) session(endpoint string) *txSession {
+	s := r.tx[endpoint]
+	if s == nil {
+		s = &txSession{unacked: make(map[uint64]*pendingPkt), cwnd: r.initWnd}
+		r.tx[endpoint] = s
+	}
+	return s
+}
+
+// drainWindow releases queued packets into a freshly opened window. Caller
+// holds r.mu; released packets are returned for sending outside the lock.
+func (r *Reliable) drainWindow(s *txSession) [][]byte {
+	var out [][]byte
+	for len(s.waiting) > 0 && float64(len(s.unacked)) < s.cwnd {
+		framed := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		seq := binary.LittleEndian.Uint64(framed[1:9])
+		s.unacked[seq] = &pendingPkt{pkt: framed, deadline: time.Now().Add(r.rto)}
+		out = append(out, framed)
+	}
+	return out
+}
+
+// SetHandler installs the deduplicated receive callback.
+func (r *Reliable) SetHandler(h func([]byte, string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handler = h
+}
+
+// LocalEndpoint returns the inner conn's endpoint.
+func (r *Reliable) LocalEndpoint() string { return r.inner.LocalEndpoint() }
+
+// Close stops retransmission and the inner conn.
+func (r *Reliable) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	err := r.inner.Close()
+	r.wg.Wait()
+	return err
+}
+
+// Unacked returns the number of packets awaiting acknowledgement.
+func (r *Reliable) Unacked() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.tx {
+		n += len(s.unacked)
+	}
+	return n
+}
+
+// Queued returns the number of packets waiting behind congestion windows.
+func (r *Reliable) Queued() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.tx {
+		n += len(s.waiting)
+	}
+	return n
+}
+
+// Window returns the current congestion window (in packets) toward a peer,
+// or the initial window if no session exists yet.
+func (r *Reliable) Window(endpoint string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.tx[endpoint]; s != nil {
+		return s.cwnd
+	}
+	return r.initWnd
+}
+
+func (r *Reliable) onPacket(pkt []byte, from string) {
+	if len(pkt) < 9 {
+		return
+	}
+	typ := pkt[0]
+	seq := binary.LittleEndian.Uint64(pkt[1:9])
+	switch typ {
+	case pktAck:
+		r.mu.Lock()
+		var release [][]byte
+		if s := r.tx[from]; s != nil {
+			if _, ok := s.unacked[seq]; ok {
+				delete(s.unacked, seq)
+				// Additive increase: one packet per window of acks.
+				s.cwnd += 1 / s.cwnd
+				if s.cwnd > r.maxWnd {
+					s.cwnd = r.maxWnd
+				}
+			}
+			release = r.drainWindow(s)
+		}
+		r.mu.Unlock()
+		for _, framed := range release {
+			_ = r.inner.Send(from, framed)
+		}
+	case pktData:
+		// Always (re-)acknowledge, even duplicates: the ack may have been
+		// lost.
+		var ack [9]byte
+		ack[0] = pktAck
+		binary.LittleEndian.PutUint64(ack[1:], seq)
+		_ = r.inner.Send(from, ack[:])
+
+		r.mu.Lock()
+		s := r.rx[from]
+		if s == nil {
+			s = &rxSession{seen: make(map[uint64]bool)}
+			r.rx[from] = s
+		}
+		dup := s.seen[seq] || (s.anySeen && seq+rxWindow <= s.maxSeen)
+		if !dup {
+			s.seen[seq] = true
+			if seq > s.maxSeen || !s.anySeen {
+				s.maxSeen = seq
+				s.anySeen = true
+			}
+			// Trim the window.
+			if len(s.seen) > 2*rxWindow {
+				for old := range s.seen {
+					if old+rxWindow <= s.maxSeen {
+						delete(s.seen, old)
+					}
+				}
+			}
+		} else {
+			r.Duplicates.Add(1)
+		}
+		h := r.handler
+		r.mu.Unlock()
+		if !dup && h != nil {
+			h(pkt[9:], from)
+		}
+	}
+}
+
+func (r *Reliable) retransmitLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.rto / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-tick.C:
+			type resend struct {
+				endpoint string
+				pkt      []byte
+			}
+			var due []resend
+			r.mu.Lock()
+			for ep, s := range r.tx {
+				timedOut := false
+				for seq, p := range s.unacked {
+					if now.Before(p.deadline) {
+						continue
+					}
+					timedOut = true
+					p.tries++
+					if p.tries > r.maxRetries {
+						delete(s.unacked, seq)
+						r.GaveUp.Add(1)
+						continue
+					}
+					p.deadline = now.Add(r.rto)
+					r.Retransmits.Add(1)
+					due = append(due, resend{ep, p.pkt})
+				}
+				if timedOut {
+					// Multiplicative decrease on loss.
+					s.cwnd /= 2
+					if s.cwnd < 1 {
+						s.cwnd = 1
+					}
+				}
+				for _, framed := range r.drainWindow(s) {
+					due = append(due, resend{ep, framed})
+				}
+			}
+			r.mu.Unlock()
+			for _, d := range due {
+				_ = r.inner.Send(d.endpoint, d.pkt)
+			}
+		}
+	}
+}
+
+var _ PacketConn = (*Reliable)(nil)
+
+// String describes the protocol configuration.
+func (r *Reliable) String() string {
+	return fmt.Sprintf("reliable(rto=%v retries=%d)", r.rto, r.maxRetries)
+}

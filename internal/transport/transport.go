@@ -1,0 +1,87 @@
+// Package transport extends Dagger's functional stack across hosts: it
+// implements the Transport layer of Figure 6 — a UDP/IP datagram path
+// between NICs — plus the Protocol unit the paper leaves as future work
+// (§4.5: "we plan to extend Dagger with reliable transports"): sequence
+// numbers, cumulative acknowledgements, retransmission and duplicate
+// suppression layered over the lossy datagram path.
+//
+// A Bridge attaches to a fabric.Fabric as its gateway: frames addressed to
+// NICs that are not local are forwarded to the peer host owning that
+// address, where the remote Bridge injects them into its own fabric with
+// the usual NIC-side steering.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by transports.
+var (
+	ErrNoPeer      = errors.New("transport: no peer owns destination address")
+	ErrBridgeClose = errors.New("transport: bridge closed")
+)
+
+// PacketConn is the datagram substrate a Bridge runs over: real UDP in
+// production (NewUDPConn), an in-memory lossy pair in tests. Implementations
+// must be safe for concurrent Send.
+type PacketConn interface {
+	// Send transmits one datagram to a peer named by an opaque endpoint
+	// string (host:port for UDP).
+	Send(endpoint string, pkt []byte) error
+	// SetHandler installs the receive callback; it is invoked once per
+	// inbound datagram with the sender's endpoint. Must be called before
+	// traffic flows.
+	SetHandler(func(pkt []byte, from string))
+	// LocalEndpoint returns this conn's own endpoint name.
+	LocalEndpoint() string
+	// Close stops the conn; the handler will not fire afterwards.
+	Close() error
+}
+
+// Route maps a Dagger NIC address range to a peer endpoint.
+type Route struct {
+	// Lo and Hi bound the NIC addresses (inclusive) owned by the peer.
+	Lo, Hi uint32
+	// Endpoint is the peer's PacketConn endpoint.
+	Endpoint string
+}
+
+// RouteTable resolves destination NIC addresses to peer endpoints — the
+// static switching table of the paper's ToR model, stretched across hosts.
+type RouteTable struct {
+	mu     sync.RWMutex
+	routes []Route
+}
+
+// NewRouteTable builds a table from routes.
+func NewRouteTable(routes ...Route) *RouteTable {
+	t := &RouteTable{}
+	for _, r := range routes {
+		t.Add(r)
+	}
+	return t
+}
+
+// Add appends a route.
+func (t *RouteTable) Add(r Route) {
+	if r.Hi < r.Lo {
+		panic(fmt.Sprintf("transport: route range [%d, %d] inverted", r.Lo, r.Hi))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.routes = append(t.routes, r)
+}
+
+// Resolve returns the endpoint owning addr.
+func (t *RouteTable) Resolve(addr uint32) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.routes {
+		if addr >= r.Lo && addr <= r.Hi {
+			return r.Endpoint, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxDatagram bounds one UDP payload: a full Dagger frame plus the protocol
+// header fits comfortably (frames are at most wire.MaxPayload + one line).
+const maxDatagram = 20 * 1024
+
+// UDPConn is the production PacketConn: one UDP socket per host.
+type UDPConn struct {
+	conn    *net.UDPConn
+	mu      sync.RWMutex
+	handler func([]byte, string)
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	Sent     atomic.Uint64
+	Received atomic.Uint64
+}
+
+// NewUDPConn binds a UDP socket on addr ("127.0.0.1:0" for an ephemeral
+// port) and starts its receive loop.
+func NewUDPConn(addr string) (*UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	u := &UDPConn{conn: conn}
+	u.wg.Add(1)
+	go u.recvLoop()
+	return u, nil
+}
+
+func (u *UDPConn) recvLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		u.Received.Add(1)
+		u.mu.RLock()
+		h := u.handler
+		u.mu.RUnlock()
+		if h != nil {
+			pkt := make([]byte, n)
+			copy(pkt, buf[:n])
+			h(pkt, from.String())
+		}
+	}
+}
+
+// Send transmits one datagram to endpoint (host:port).
+func (u *UDPConn) Send(endpoint string, pkt []byte) error {
+	if u.closed.Load() {
+		return ErrBridgeClose
+	}
+	ua, err := net.ResolveUDPAddr("udp", endpoint)
+	if err != nil {
+		return err
+	}
+	if _, err := u.conn.WriteToUDP(pkt, ua); err != nil {
+		return err
+	}
+	u.Sent.Add(1)
+	return nil
+}
+
+// SetHandler installs the receive callback.
+func (u *UDPConn) SetHandler(h func([]byte, string)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.handler = h
+}
+
+// LocalEndpoint returns the bound host:port.
+func (u *UDPConn) LocalEndpoint() string { return u.conn.LocalAddr().String() }
+
+// Close shuts the socket and waits for the receive loop.
+func (u *UDPConn) Close() error {
+	if u.closed.Swap(true) {
+		return nil
+	}
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}

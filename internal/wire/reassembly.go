@@ -1,0 +1,51 @@
+package wire
+
+// Reassembler implements software RPC reassembly (§4.7): the memory
+// interconnect's MTU is a single cache line, so frames arrive as line-sized
+// chunks and multi-line RPCs are stitched back together on the CPU before
+// delivery. Lines of one RPC arrive in order within a flow (the interconnect
+// preserves per-flow ordering); interleaving across flows is handled by
+// keeping one assembly buffer per flow.
+type Reassembler struct {
+	pending map[uint16][]byte // flowID -> partial frame bytes
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[uint16][]byte)}
+}
+
+// AddLine feeds one 64-byte line for a flow. When the line completes an RPC
+// frame, the decoded message and true are returned; otherwise the line is
+// buffered. The error reports malformed first lines.
+func (r *Reassembler) AddLine(flowID uint16, line []byte) (Message, bool, error) {
+	if len(line) != CacheLineSize {
+		return Message{}, false, ErrShortBuffer
+	}
+	buf := r.pending[flowID]
+	buf = append(buf, line...)
+	m, consumed, err := Unmarshal(buf)
+	switch err {
+	case nil:
+		rest := buf[consumed:]
+		if len(rest) == 0 {
+			delete(r.pending, flowID)
+		} else {
+			r.pending[flowID] = rest
+		}
+		// Copy the payload out: the pending buffer is reused.
+		cp := make([]byte, len(m.Payload))
+		copy(cp, m.Payload)
+		m.Payload = cp
+		return m, true, nil
+	case ErrShortBuffer:
+		r.pending[flowID] = buf
+		return Message{}, false, nil
+	default:
+		delete(r.pending, flowID)
+		return Message{}, false, err
+	}
+}
+
+// PendingFlows returns the number of flows with partial frames buffered.
+func (r *Reassembler) PendingFlows() int { return len(r.pending) }

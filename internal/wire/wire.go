@@ -1,0 +1,166 @@
+// Package wire defines Dagger's RPC wire format. Following the paper's
+// hardware design, messages are framed in 64-byte cache-line units: the
+// header occupies the front of the first line and the payload fills the rest,
+// spilling into additional lines for RPCs larger than one line (which the
+// paper reassembles in software, §4.7).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CacheLineSize is the transfer MTU of the memory interconnect: one CPU
+// cache line.
+const CacheLineSize = 64
+
+// HeaderSize is the encoded size of a message header, at the front of the
+// first cache line.
+const HeaderSize = 32
+
+// FirstLinePayload is the payload capacity of the first cache line.
+const FirstLinePayload = CacheLineSize - HeaderSize
+
+// MaxPayload bounds a single RPC's payload; the paper's microservice RPCs
+// range from a few bytes to a few kilobytes.
+const MaxPayload = 16 * 1024
+
+// Magic identifies Dagger frames on the wire.
+const Magic uint16 = 0xDA66
+
+// Kind distinguishes message types multiplexed over one symmetric stack
+// (the paper: "Request types are distinguished by the request type field").
+type Kind uint8
+
+// Message kinds.
+const (
+	KindRequest Kind = iota + 1
+	KindResponse
+	KindConnect
+	KindConnectAck
+	KindDisconnect
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	case KindConnect:
+		return "connect"
+	case KindConnectAck:
+		return "connect-ack"
+	case KindDisconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Header is the fixed-size RPC header.
+type Header struct {
+	Kind    Kind
+	Flags   uint8
+	ConnID  uint32 // connection identifier (c_id in the paper)
+	RPCID   uint64 // per-connection request identifier, echoed in responses
+	FlowID  uint16 // NIC flow (maps 1:1 to an RX/TX ring)
+	FnID    uint16 // registered remote function
+	Len     uint32 // payload length in bytes
+	SrcAddr uint32 // source host address (connection setup and steering)
+	DstAddr uint32 // destination host address
+}
+
+// Message is a complete RPC frame: header plus payload.
+type Message struct {
+	Header
+	Payload []byte
+}
+
+// Lines returns the number of cache lines the message occupies on the
+// interconnect and the wire.
+func (m *Message) Lines() int { return LinesFor(len(m.Payload)) }
+
+// WireSize returns the framed size in bytes (a multiple of CacheLineSize).
+func (m *Message) WireSize() int { return m.Lines() * CacheLineSize }
+
+// LinesFor returns the number of cache lines needed for a payload length.
+func LinesFor(payloadLen int) int {
+	if payloadLen <= FirstLinePayload {
+		return 1
+	}
+	rest := payloadLen - FirstLinePayload
+	return 1 + (rest+CacheLineSize-1)/CacheLineSize
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrShortBuffer = errors.New("wire: buffer shorter than frame")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadKind     = errors.New("wire: bad message kind")
+	ErrTooLarge    = errors.New("wire: payload exceeds MaxPayload")
+)
+
+// MarshalAppend encodes m onto dst, padding to a whole number of cache
+// lines, and returns the extended slice.
+func MarshalAppend(dst []byte, m *Message) ([]byte, error) {
+	if len(m.Payload) > MaxPayload {
+		return dst, ErrTooLarge
+	}
+	if m.Len != 0 && int(m.Len) != len(m.Payload) {
+		return dst, fmt.Errorf("wire: header Len %d != payload %d", m.Len, len(m.Payload))
+	}
+	total := LinesFor(len(m.Payload)) * CacheLineSize
+	off := len(dst)
+	for i := 0; i < total; i++ {
+		dst = append(dst, 0)
+	}
+	b := dst[off:]
+	binary.LittleEndian.PutUint16(b[0:], Magic)
+	b[2] = byte(m.Kind)
+	b[3] = m.Flags
+	binary.LittleEndian.PutUint32(b[4:], m.ConnID)
+	binary.LittleEndian.PutUint64(b[8:], m.RPCID)
+	binary.LittleEndian.PutUint16(b[16:], m.FlowID)
+	binary.LittleEndian.PutUint16(b[18:], m.FnID)
+	binary.LittleEndian.PutUint32(b[20:], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint32(b[24:], m.SrcAddr)
+	binary.LittleEndian.PutUint32(b[28:], m.DstAddr)
+	copy(b[HeaderSize:], m.Payload)
+	return dst, nil
+}
+
+// Unmarshal decodes one frame from buf, returning the message, the number of
+// bytes consumed, and an error. The returned payload aliases buf.
+func Unmarshal(buf []byte) (Message, int, error) {
+	if len(buf) < CacheLineSize {
+		return Message{}, 0, ErrShortBuffer
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != Magic {
+		return Message{}, 0, ErrBadMagic
+	}
+	k := Kind(buf[2])
+	if k < KindRequest || k > KindDisconnect {
+		return Message{}, 0, ErrBadKind
+	}
+	var m Message
+	m.Kind = k
+	m.Flags = buf[3]
+	m.ConnID = binary.LittleEndian.Uint32(buf[4:])
+	m.RPCID = binary.LittleEndian.Uint64(buf[8:])
+	m.FlowID = binary.LittleEndian.Uint16(buf[16:])
+	m.FnID = binary.LittleEndian.Uint16(buf[18:])
+	m.Len = binary.LittleEndian.Uint32(buf[20:])
+	m.SrcAddr = binary.LittleEndian.Uint32(buf[24:])
+	m.DstAddr = binary.LittleEndian.Uint32(buf[28:])
+	if m.Len > MaxPayload {
+		return Message{}, 0, ErrTooLarge
+	}
+	total := LinesFor(int(m.Len)) * CacheLineSize
+	if len(buf) < total {
+		return Message{}, 0, ErrShortBuffer
+	}
+	m.Payload = buf[HeaderSize : HeaderSize+int(m.Len)]
+	return m, total, nil
+}

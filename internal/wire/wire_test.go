@@ -1,0 +1,300 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage(payloadLen int) *Message {
+	p := make([]byte, payloadLen)
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	return &Message{
+		Header: Header{
+			Kind:    KindRequest,
+			Flags:   3,
+			ConnID:  42,
+			RPCID:   1<<40 + 17,
+			FlowID:  5,
+			FnID:    2,
+			SrcAddr: 0x0A000001,
+			DstAddr: 0x0A000002,
+		},
+		Payload: p,
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 33, 63, 64, 96, 100, 1000, MaxPayload} {
+		m := sampleMessage(n)
+		buf, err := MarshalAppend(nil, m)
+		if err != nil {
+			t.Fatalf("marshal %d: %v", n, err)
+		}
+		if len(buf)%CacheLineSize != 0 {
+			t.Fatalf("frame size %d not line-aligned", len(buf))
+		}
+		if len(buf) != m.WireSize() {
+			t.Fatalf("frame size %d != WireSize %d", len(buf), m.WireSize())
+		}
+		got, consumed, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("unmarshal %d: %v", n, err)
+		}
+		if consumed != len(buf) {
+			t.Fatalf("consumed %d, want %d", consumed, len(buf))
+		}
+		if got.Kind != m.Kind || got.ConnID != m.ConnID || got.RPCID != m.RPCID ||
+			got.FlowID != m.FlowID || got.FnID != m.FnID || got.Flags != m.Flags ||
+			got.SrcAddr != m.SrcAddr || got.DstAddr != m.DstAddr {
+			t.Fatalf("header mismatch: got %+v want %+v", got.Header, m.Header)
+		}
+		if !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("payload mismatch at len %d", n)
+		}
+	}
+}
+
+func TestLinesFor(t *testing.T) {
+	cases := []struct {
+		payload, lines int
+	}{
+		{0, 1}, {1, 1}, {32, 1}, {33, 2}, {96, 2}, {97, 3}, {512, 9},
+	}
+	for _, c := range cases {
+		if got := LinesFor(c.payload); got != c.lines {
+			t.Errorf("LinesFor(%d) = %d, want %d", c.payload, got, c.lines)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, _, err := Unmarshal(make([]byte, 10)); err != ErrShortBuffer {
+		t.Errorf("short buffer: %v", err)
+	}
+	bad := make([]byte, CacheLineSize)
+	if _, _, err := Unmarshal(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: %v", err)
+	}
+	m := sampleMessage(0)
+	buf, _ := MarshalAppend(nil, m)
+	buf[2] = 99
+	if _, _, err := Unmarshal(buf); err != ErrBadKind {
+		t.Errorf("bad kind: %v", err)
+	}
+	// Multi-line frame truncated to its first line.
+	m2 := sampleMessage(200)
+	buf2, _ := MarshalAppend(nil, m2)
+	if _, _, err := Unmarshal(buf2[:CacheLineSize]); err != ErrShortBuffer {
+		t.Errorf("truncated multi-line: %v", err)
+	}
+}
+
+func TestMarshalRejectsOversized(t *testing.T) {
+	m := sampleMessage(MaxPayload + 1)
+	if _, err := MarshalAppend(nil, m); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMarshalRejectsLenMismatch(t *testing.T) {
+	m := sampleMessage(8)
+	m.Len = 5
+	if _, err := MarshalAppend(nil, m); err == nil {
+		t.Fatal("len mismatch accepted")
+	}
+}
+
+func TestMarshalAppendStacks(t *testing.T) {
+	a := sampleMessage(10)
+	b := sampleMessage(100)
+	buf, _ := MarshalAppend(nil, a)
+	buf, _ = MarshalAppend(buf, b)
+	m1, c1, err := Unmarshal(buf)
+	if err != nil || len(m1.Payload) != 10 {
+		t.Fatalf("first frame: %v", err)
+	}
+	m2, _, err := Unmarshal(buf[c1:])
+	if err != nil || len(m2.Payload) != 100 {
+		t.Fatalf("second frame: %v", err)
+	}
+}
+
+// Property: round-trip preserves header and payload for arbitrary content.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, connID uint32, rpcID uint64, flowID, fnID uint16) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		m := &Message{
+			Header:  Header{Kind: KindResponse, ConnID: connID, RPCID: rpcID, FlowID: flowID, FnID: fnID},
+			Payload: payload,
+		}
+		buf, err := MarshalAppend(nil, m)
+		if err != nil {
+			return false
+		}
+		got, _, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return got.ConnID == connID && got.RPCID == rpcID && got.FlowID == flowID &&
+			got.FnID == fnID && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassemblerSingleLine(t *testing.T) {
+	r := NewReassembler()
+	m := sampleMessage(16)
+	buf, _ := MarshalAppend(nil, m)
+	got, done, err := r.AddLine(m.FlowID, buf)
+	if err != nil || !done {
+		t.Fatalf("single line not delivered: done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatal("payload mismatch")
+	}
+	if r.PendingFlows() != 0 {
+		t.Fatal("residual pending state")
+	}
+}
+
+func TestReassemblerMultiLine(t *testing.T) {
+	r := NewReassembler()
+	m := sampleMessage(300) // 1 + ceil(268/64) = 6 lines
+	buf, _ := MarshalAppend(nil, m)
+	lines := len(buf) / CacheLineSize
+	for i := 0; i < lines-1; i++ {
+		_, done, err := r.AddLine(m.FlowID, buf[i*CacheLineSize:(i+1)*CacheLineSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Fatalf("frame delivered early at line %d/%d", i+1, lines)
+		}
+	}
+	got, done, err := r.AddLine(m.FlowID, buf[(lines-1)*CacheLineSize:])
+	if err != nil || !done {
+		t.Fatalf("final line: done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatal("reassembled payload mismatch")
+	}
+}
+
+func TestReassemblerInterleavedFlows(t *testing.T) {
+	r := NewReassembler()
+	a := sampleMessage(200)
+	a.FlowID = 1
+	b := sampleMessage(200)
+	b.FlowID = 2
+	for i := range b.Payload {
+		b.Payload[i] ^= 0xFF
+	}
+	bufA, _ := MarshalAppend(nil, a)
+	bufB, _ := MarshalAppend(nil, b)
+	linesA := len(bufA) / CacheLineSize
+	var gotA, gotB *Message
+	for i := 0; i < linesA; i++ {
+		if m, done, err := r.AddLine(1, bufA[i*CacheLineSize:(i+1)*CacheLineSize]); err != nil {
+			t.Fatal(err)
+		} else if done {
+			gotA = &m
+		}
+		if m, done, err := r.AddLine(2, bufB[i*CacheLineSize:(i+1)*CacheLineSize]); err != nil {
+			t.Fatal(err)
+		} else if done {
+			gotB = &m
+		}
+	}
+	if gotA == nil || gotB == nil {
+		t.Fatal("interleaved frames not delivered")
+	}
+	if !bytes.Equal(gotA.Payload, a.Payload) || !bytes.Equal(gotB.Payload, b.Payload) {
+		t.Fatal("cross-flow payload corruption")
+	}
+}
+
+func TestReassemblerBadLine(t *testing.T) {
+	r := NewReassembler()
+	if _, _, err := r.AddLine(1, make([]byte, 5)); err == nil {
+		t.Fatal("short line accepted")
+	}
+	junk := make([]byte, CacheLineSize)
+	if _, _, err := r.AddLine(1, junk); err == nil {
+		t.Fatal("garbage first line accepted")
+	}
+}
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Int32(-5)
+	e.Uint32(7)
+	e.Int64(-1 << 50)
+	e.Uint64(1 << 60)
+	e.Bool(true)
+	e.Bool(false)
+	e.CharArray([]byte("key"), 8)
+	e.Bytes16([]byte{1, 2, 3})
+	e.String16("hello")
+
+	d := NewDecoder(e.Bytes())
+	if d.Int32() != -5 || d.Uint32() != 7 || d.Int64() != -1<<50 || d.Uint64() != 1<<60 {
+		t.Fatal("scalar mismatch")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool mismatch")
+	}
+	ca := d.CharArray(8)
+	if !bytes.Equal(ca, []byte{'k', 'e', 'y', 0, 0, 0, 0, 0}) {
+		t.Fatalf("char array = %v", ca)
+	}
+	if !bytes.Equal(d.Bytes16(), []byte{1, 2, 3}) {
+		t.Fatal("bytes16 mismatch")
+	}
+	if d.String16() != "hello" {
+		t.Fatal("string16 mismatch")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestDecoderShort(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if d.Uint32() != 0 || d.Err() != ErrDecodeShort {
+		t.Fatal("short decode not flagged")
+	}
+	// Subsequent reads stay zero and keep the error.
+	if d.Uint64() != 0 || d.Err() != ErrDecodeShort {
+		t.Fatal("sticky error lost")
+	}
+}
+
+// Property: encoder/decoder round-trip arbitrary tuples.
+func TestCodecProperty(t *testing.T) {
+	f := func(a int32, b uint64, s string, raw []byte) bool {
+		if len(s) > 0xFFFF {
+			s = s[:0xFFFF]
+		}
+		if len(raw) > 0xFFFF {
+			raw = raw[:0xFFFF]
+		}
+		e := NewEncoder(nil)
+		e.Int32(a)
+		e.Uint64(b)
+		e.String16(s)
+		e.Bytes16(raw)
+		d := NewDecoder(e.Bytes())
+		ok := d.Int32() == a && d.Uint64() == b && d.String16() == s && bytes.Equal(d.Bytes16(), raw)
+		return ok && d.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

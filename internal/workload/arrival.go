@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"dagger/internal/sim"
+)
+
+// Arrival generates inter-arrival gaps for an open-loop load generator.
+type Arrival interface {
+	// NextGap returns the simulated time until the next request.
+	NextGap() sim.Time
+	// Rate returns the configured mean request rate in requests/second.
+	Rate() float64
+}
+
+// PoissonArrival models a memoryless open-loop client at a given mean rate.
+type PoissonArrival struct {
+	rng  *rand.Rand
+	rate float64 // requests per second
+}
+
+// NewPoissonArrival creates a Poisson arrival process at rate requests/sec.
+func NewPoissonArrival(rng *rand.Rand, rate float64) *PoissonArrival {
+	if rate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	return &PoissonArrival{rng: rng, rate: rate}
+}
+
+// NextGap samples an exponential inter-arrival gap.
+func (p *PoissonArrival) NextGap() sim.Time {
+	gapSec := -math.Log(1-p.rng.Float64()) / p.rate
+	gap := sim.Time(gapSec * 1e9)
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// Rate returns the mean rate in requests/second.
+func (p *PoissonArrival) Rate() float64 { return p.rate }
+
+// UniformArrival issues requests at exact fixed intervals (a paced
+// closed-spacing generator, used for saturation sweeps).
+type UniformArrival struct {
+	gap  sim.Time
+	rate float64
+}
+
+// NewUniformArrival creates a fixed-interval process at rate requests/sec.
+func NewUniformArrival(rate float64) *UniformArrival {
+	if rate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	gap := sim.Time(1e9 / rate)
+	if gap < 1 {
+		gap = 1
+	}
+	return &UniformArrival{gap: gap, rate: rate}
+}
+
+// NextGap returns the fixed gap.
+func (u *UniformArrival) NextGap() sim.Time { return u.gap }
+
+// Rate returns the mean rate in requests/second.
+func (u *UniformArrival) Rate() float64 { return u.rate }
