@@ -1,0 +1,139 @@
+// Command daggervet runs Dagger's project-specific static analyzers over
+// the repository (see internal/analysis for what each enforces and why):
+//
+//	simdeterminism  no wall clock / global rand / map-order dependence in sim code
+//	locksafety      no copied locks, no blocking or returning with a mutex held
+//	hotpathalloc    no avoidable allocation on the RPC data path
+//	errchecklite    no silently dropped errors on Conn/transport/ring operations
+//
+// Usage:
+//
+//	daggervet [packages]
+//
+// Package patterns follow the go tool: a literal directory ("./internal/sim"),
+// or a "..." wildcard ("./..."). With no arguments, ./... is assumed.
+// Diagnostics print as file:line:col: message (analyzer); the exit status is
+// 1 if any diagnostic was reported, 2 on usage or load errors. Individual
+// findings can be suppressed with a trailing or preceding
+// "//daggervet:ignore=<analyzer>" comment, reviewed in code review like any
+// other exception.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dagger/internal/analysis"
+)
+
+var analyzers = []*analysis.Analyzer{
+	analysis.SimDeterminism,
+	analysis.LockSafety,
+	analysis.HotPathAlloc,
+	analysis.ErrCheckLite,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := expand(loader.ModuleRoot(), patterns)
+	if err != nil {
+		fatal(err)
+	}
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir, "")
+		if err != nil {
+			fatal(err)
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daggervet:", err)
+	os.Exit(2)
+}
+
+// expand resolves go-tool-style package patterns to package directories.
+func expand(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, wild := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = root
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		if !wild {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// Skip ignored trees the same way the go tool does.
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test Go
+// file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

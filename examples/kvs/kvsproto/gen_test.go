@@ -1,0 +1,32 @@
+package kvsproto
+
+import (
+	"os"
+	"testing"
+
+	"dagger/internal/idl"
+)
+
+// TestGeneratedCodeFresh regenerates kvs.gen.go from kvs.idl through the
+// live code generator and diffs it against the checked-in file, so IDL or
+// codegen drift fails CI instead of shipping stale stubs. Regenerate with:
+//
+//	go run ./cmd/daggergen -in examples/kvs/kvsproto/kvs.idl -pkg kvsproto -out examples/kvs/kvsproto/kvs.gen.go
+func TestGeneratedCodeFresh(t *testing.T) {
+	src, err := os.ReadFile("kvs.idl")
+	if err != nil {
+		t.Fatalf("read kvs.idl: %v", err)
+	}
+	file, err := idl.Parse(string(src))
+	if err != nil {
+		t.Fatalf("parse kvs.idl: %v", err)
+	}
+	want := idl.Generate(file, "kvsproto")
+	got, err := os.ReadFile("kvs.gen.go")
+	if err != nil {
+		t.Fatalf("read kvs.gen.go: %v", err)
+	}
+	if string(got) != want {
+		t.Fatalf("kvs.gen.go is stale: regenerate with daggergen (see test comment); generated %d bytes, checked in %d bytes", len(want), len(got))
+	}
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis and its checker function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //daggervet:ignore=name suppressions.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass provides one analyzer with one type-checked package and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      []Diagnostic
+	suppressed map[string]map[int]bool // filename -> line -> suppressed
+}
+
+// Reportf records a diagnostic at pos unless that line carries a
+// //daggervet:ignore suppression.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.suppressed[position.Filename]; ok && lines[position.Line] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Run applies analyzers to pkg and returns the diagnostics sorted by
+// position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Path:       pkg.Path,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			suppressed: suppressedLines(pkg, a.Name),
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// suppressedLines maps, per file, the lines on which diagnostics from the
+// named analyzer are suppressed. A comment of the form
+//
+//	//daggervet:ignore        (suppresses every analyzer)
+//	//daggervet:ignore=name   (suppresses one analyzer)
+//
+// suppresses findings on its own line and, when it is the only thing on its
+// line, on the line below.
+func suppressedLines(pkg *Package, analyzer string) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "daggervet:ignore")
+				if !ok {
+					continue
+				}
+				if name, isEq := strings.CutPrefix(rest, "="); isEq {
+					if strings.TrimSpace(name) != analyzer {
+						continue
+					}
+				} else if strings.TrimSpace(rest) != "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]bool)
+				}
+				out[pos.Filename][pos.Line] = true
+				out[pos.Filename][pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// pathIn reports whether import path p is pkg or lies beneath any of the
+// given package paths.
+func pathIn(p string, roots ...string) bool {
+	for _, r := range roots {
+		if p == r || strings.HasPrefix(p, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called package-level function or method, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call invokes a package-level function of
+// pkgPath whose name is in names.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// isNamedType reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// containsLock reports whether t directly or transitively contains a
+// sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Cond or sync.Once by
+// value, meaning values of t must not be copied.
+func containsLock(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		for _, n := range []string{"Mutex", "RWMutex", "WaitGroup", "Cond", "Once"} {
+			if isNamedType(t, "sync", n) {
+				// Pointers to locks are fine; isNamedType dereferences, so
+				// re-check that t itself is not a pointer.
+				if _, isPtr := t.(*types.Pointer); !isPtr {
+					return true
+				}
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		if named, ok := t.(*types.Named); ok {
+			return walk(named.Underlying())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// funcName returns the name of the enclosing function declaration, or "".
+func funcName(decl *ast.FuncDecl) string {
+	if decl == nil || decl.Name == nil {
+		return ""
+	}
+	return decl.Name.Name
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSimDeterminismFixture(t *testing.T) {
+	RunFixture(t, SimDeterminism, filepath.Join("testdata", "simdeterminism"), "dagger/internal/sim/fixture")
+}
+
+func TestLockSafetyFixture(t *testing.T) {
+	RunFixture(t, LockSafety, filepath.Join("testdata", "locksafety"), "dagger/internal/core/fixture")
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	RunFixture(t, HotPathAlloc, filepath.Join("testdata", "hotpathalloc"), "dagger/internal/wire/fixture")
+}
+
+func TestErrCheckLiteFixture(t *testing.T) {
+	RunFixture(t, ErrCheckLite, filepath.Join("testdata", "errchecklite"), "dagger/internal/transport/fixture")
+}
+
+// TestAnalyzersScopedOut proves the analyzers stay silent on packages
+// outside their scope: the same violation-riddled fixtures produce no
+// diagnostics when attributed to an unscoped import path.
+func TestAnalyzersScopedOut(t *testing.T) {
+	cases := []struct {
+		a   *Analyzer
+		dir string
+	}{
+		{SimDeterminism, "simdeterminism"},
+		{LockSafety, "locksafety"},
+		{HotPathAlloc, "hotpathalloc"},
+		{ErrCheckLite, "errchecklite"},
+	}
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		pkg, err := loader.Load(filepath.Join("testdata", tc.dir), "dagger/internal/unscoped/fixture")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.dir, err)
+		}
+		diags, err := Run(pkg, []*Analyzer{tc.a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: diagnostic outside scope: %s", tc.a.Name, d)
+		}
+	}
+}
+
+// TestLoaderRealPackages exercises the source loader on representative
+// repo packages, including one that imports net (forcing a pure-Go
+// standard-library type-check from GOROOT source).
+func TestLoaderRealPackages(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath() != "dagger" {
+		t.Fatalf("module path = %q, want dagger", loader.ModulePath())
+	}
+	for _, dir := range []string{"../sim", "../transport", "../ringbuf"} {
+		pkg, err := loader.Load(dir, "")
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		if len(pkg.Files) == 0 {
+			t.Fatalf("load %s: no files", dir)
+		}
+		if pkg.Types == nil || !pkg.Types.Complete() {
+			t.Fatalf("load %s: incomplete type information", dir)
+		}
+	}
+}
+
+// TestRepoClean runs every analyzer over the live packages they scope to;
+// the repo must stay violation-free, which is the same gate cmd/daggervet
+// enforces in CI.
+func TestRepoClean(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{
+		"../sim", "../interconnect", "../nicmodel", "../netmodel",
+		"../microsim", "../experiments",
+		"../core", "../transport", "../fabric", "../ringbuf", "../wire",
+	}
+	all := []*Analyzer{SimDeterminism, LockSafety, HotPathAlloc, ErrCheckLite}
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir, "")
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		diags, err := Run(pkg, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

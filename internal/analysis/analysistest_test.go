@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureLoader is shared across fixture runs so dependency packages (the
+// standard library, checked from source) are only type-checked once per
+// test process.
+var (
+	fixtureLoaderOnce sync.Once
+	fixtureLoader     *Loader
+	fixtureLoaderErr  error
+)
+
+func sharedLoader() (*Loader, error) {
+	fixtureLoaderOnce.Do(func() {
+		fixtureLoader, fixtureLoaderErr = NewLoader(".")
+	})
+	return fixtureLoader, fixtureLoaderErr
+}
+
+// RunFixture loads the fixture package in dir as import path asPath, runs
+// analyzer a over it, and checks the diagnostics against the fixture's
+// expectations, written as trailing comments in the x/tools analysistest
+// style:
+//
+//	time.Now() // want `time\.Now reads the wall clock`
+//
+// Each want comment holds one or more quoted regular expressions; every
+// expectation must be matched by a diagnostic on its line and every
+// diagnostic must match an expectation.
+func RunFixture(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.Load(dir, asPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWant(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from the body of a want comment.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated regexp in %q", s)
+			}
+			lit, s = s[1:1+end], s[2+end:]
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end == len(s) {
+				return nil, fmt.Errorf("unterminated regexp in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			lit, s = unq, s[end+1:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+}

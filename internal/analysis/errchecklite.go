@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckLite flags silently dropped errors on the RPC stack's own
+// operations (Conn/transport/ring/NIC calls). A dropped send error hides
+// ring overflow and routing failures that the paper's flow-control design
+// makes load-bearing. Explicitly assigning to the blank identifier
+// (`_ = conn.Send(...)`) documents intent and is allowed.
+var ErrCheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "flag call statements that silently drop a returned error on the RPC data path",
+	Run:  runErrCheckLite,
+}
+
+// errScopes are the packages where dropped errors hide protocol bugs.
+var errScopes = []string{
+	"dagger/internal/core",
+	"dagger/internal/transport",
+	"dagger/internal/fabric",
+	"dagger/internal/ringbuf",
+	"dagger/internal/wire",
+}
+
+// errCheckExempt lists receiver types whose methods cannot fail
+// meaningfully (their error results exist to satisfy io interfaces).
+var errCheckExempt = [][2]string{
+	{"bytes", "Buffer"},
+	{"strings", "Builder"},
+	{"hash", "Hash"},
+}
+
+func runErrCheckLite(pass *Pass) error {
+	if !pathIn(pass.Path, errScopes...) {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[call]
+			if !ok {
+				return true
+			}
+			// The error must be the sole or final result.
+			var last types.Type
+			switch t := tv.Type.(type) {
+			case *types.Tuple:
+				if t.Len() == 0 {
+					return true
+				}
+				last = t.At(t.Len() - 1).Type()
+			default:
+				last = t
+			}
+			if last == nil || !types.Identical(last, errType) {
+				return true
+			}
+			if exemptErrCall(pass, call) {
+				return true
+			}
+			name := "call"
+			if fn := calleeFunc(pass.Info, call); fn != nil {
+				name = fn.Name()
+			}
+			pass.Reportf(stmt.Pos(),
+				"%s returns an error that is silently dropped; handle it or assign to _ explicitly", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// exemptErrCall reports whether the call's receiver is a can't-fail writer
+// (bytes.Buffer, strings.Builder, hash.Hash).
+func exemptErrCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	for _, ex := range errCheckExempt {
+		if isNamedType(t, ex[0], ex[1]) {
+			return true
+		}
+	}
+	// hash.Hash is an interface; check interface satisfaction by name.
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "hash" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// HotPathAlloc keeps the RPC data path allocation-lean, as the paper's
+// zero-copy CPU–NIC interface assumes of the software above it. Inside the
+// send/receive/ring hot paths it flags fmt.Sprint* formatting, appends in
+// loops onto slices declared without capacity, and []byte→string
+// conversions (each allocates and copies). Cold paths are exempt: String/
+// Error methods, panic messages, and error construction.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flag fmt.Sprint*, un-preallocated append loops, and []byte→string " +
+		"conversions on the RPC data path",
+	Run: runHotPathAlloc,
+}
+
+// hotScopes are whole packages on the data path.
+var hotScopes = []string{
+	"dagger/internal/ringbuf",
+	"dagger/internal/wire",
+	"dagger/internal/transport",
+}
+
+// hotFiles extends the scope to individual hot files in wider packages.
+var hotFiles = map[string][]string{
+	"dagger/internal/core": {"client.go"},
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	wholePkg := pathIn(pass.Path, hotScopes...)
+	fileSet := map[string]bool{}
+	for _, f := range hotFiles[pass.Path] {
+		fileSet[f] = true
+	}
+	if !wholePkg && len(fileSet) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if !wholePkg && !fileSet[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
+			continue
+		}
+		checkHotFile(pass, f)
+	}
+	return nil
+}
+
+func checkHotFile(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		// String/Error methods are diagnostic/cold by convention.
+		if name := funcName(fd); name == "String" || name == "Error" {
+			continue
+		}
+		cold := coldRegions(pass, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || cold.contains(call.Pos()) {
+				return true
+			}
+			if name, ok := isPkgCall(pass.Info, call, "fmt", "Sprintf", "Sprint", "Sprintln"); ok {
+				pass.Reportf(call.Pos(),
+					"fmt.%s allocates on the hot path; precompute or use strconv/append", name)
+			}
+			return true
+		})
+		checkByteStringConv(pass, fd.Body, cold)
+		checkAppendLoops(pass, fd.Body)
+	}
+}
+
+// regions is a set of source intervals.
+type regions [][2]token.Pos
+
+func (r regions) contains(p token.Pos) bool {
+	for _, iv := range r {
+		if p >= iv[0] && p < iv[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// coldRegions returns the spans of body that only execute on failure
+// paths: panic() arguments and error-construction calls (fmt.Errorf,
+// errors.New).
+func coldRegions(pass *Pass, body *ast.BlockStmt) regions {
+	var out regions
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			out = append(out, [2]token.Pos{call.Pos(), call.End()})
+			return false
+		}
+		if _, ok := isPkgCall(pass.Info, call, "fmt", "Errorf"); ok {
+			out = append(out, [2]token.Pos{call.Pos(), call.End()})
+			return false
+		}
+		if _, ok := isPkgCall(pass.Info, call, "errors", "New"); ok {
+			out = append(out, [2]token.Pos{call.Pos(), call.End()})
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// checkByteStringConv flags string(b) for []byte b, except in the
+// allocation-free positions the compiler optimizes (map index, ==/!=
+// comparison) and in cold regions.
+func checkByteStringConv(pass *Pass, body *ast.BlockStmt, cold regions) {
+	optimized := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			// m[string(b)] does not allocate when m is a map.
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					optimized[ast.Unparen(n.Index)] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				optimized[ast.Unparen(n.X)] = true
+				optimized[ast.Unparen(n.Y)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 || optimized[call] || cold.contains(call.Pos()) {
+			return true
+		}
+		// A conversion has a type as its "function".
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+			return true
+		}
+		argT := pass.TypeOf(call.Args[0])
+		if argT == nil {
+			return true
+		}
+		if sl, ok := argT.Underlying().(*types.Slice); ok {
+			if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+				pass.Reportf(call.Pos(),
+					"[]byte→string conversion allocates and copies on the hot path; keep the []byte")
+			}
+		}
+		return true
+	})
+}
+
+// checkAppendLoops flags `x = append(x, ...)` inside a loop when x is a
+// local slice declared in this function without capacity (var x []T,
+// x := []T{}, or make([]T, 0)); growing it element-wise reallocates
+// log(n) times where a single preallocation would do.
+func checkAppendLoops(pass *Pass, body *ast.BlockStmt) {
+	// Collect local slice variables declared without capacity.
+	noCap := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+						noCap[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				switch rhs := ast.Unparen(n.Rhs[i]).(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						noCap[obj] = true
+					}
+				case *ast.CallExpr:
+					if id, ok := rhs.Fun.(*ast.Ident); ok && id.Name == "make" && len(rhs.Args) == 2 {
+						// make([]T, 0) with no cap argument.
+						if tv, ok := pass.Info.Types[rhs.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+							noCap[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(noCap) == 0 {
+		return
+	}
+	// Find appends to those variables inside loops.
+	var inLoop func(n ast.Node, depth int)
+	inLoop = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if m != n {
+					inLoop(m, depth+1)
+					return false
+				}
+			case *ast.RangeStmt:
+				if m != n {
+					inLoop(m, depth+1)
+					return false
+				}
+			case *ast.AssignStmt:
+				if depth == 0 {
+					return true
+				}
+				for i, rhs := range m.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					fid, ok := call.Fun.(*ast.Ident)
+					if !ok || fid.Name != "append" || len(call.Args) == 0 {
+						continue
+					}
+					target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if i < len(m.Lhs) {
+						if lid, ok := m.Lhs[i].(*ast.Ident); !ok || lid.Name != target.Name {
+							continue
+						}
+					}
+					if obj := pass.Info.Uses[target]; obj != nil && noCap[obj] {
+						pass.Reportf(call.Pos(),
+							"append to %s grows an un-preallocated slice inside a loop; preallocate with make(cap)", target.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	inLoop(body, 0)
+}

@@ -1,0 +1,240 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// Dagger-specific analyzers behind cmd/daggervet. It deliberately mirrors
+// the golang.org/x/tools/go/analysis API shape (Analyzer, Pass, Diagnostic,
+// want-comment fixtures) but is built only on the standard library's
+// go/ast, go/build and go/types packages, so the lint suite works in
+// hermetic build environments with no module downloads.
+//
+// The analyzers encode the invariants this repo's value rests on:
+//
+//   - simdeterminism: the discrete-event engine (internal/sim and the model
+//     packages above it) must stay bit-for-bit reproducible, so wall-clock
+//     time and the global math/rand source are forbidden there.
+//   - locksafety: the functional RPC stack (internal/core,
+//     internal/transport, internal/fabric) must stay race-free: no copied
+//     locks, no blocking while holding a mutex, no return with a mutex held.
+//   - hotpathalloc: the data path (internal/ringbuf, internal/wire,
+//     internal/transport, the client send/receive path) must stay
+//     allocation-lean.
+//   - errchecklite: errors from Conn/transport/ring operations must not be
+//     silently dropped.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was loaded as. Fixture packages
+	// may be loaded under a synthetic path to exercise path-scoped
+	// analyzers.
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages from source and type-checks them without any
+// external tooling. Direct targets are fully checked; their dependencies
+// (including the standard library, which is checked from GOROOT source) are
+// checked with IgnoreFuncBodies for speed and cached for the lifetime of
+// the loader.
+type Loader struct {
+	ctx        build.Context
+	moduleRoot string
+	modulePath string
+	fset       *token.FileSet
+
+	mu   sync.Mutex
+	deps map[string]*types.Package
+}
+
+// NewLoader creates a loader rooted at the Go module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// Force the pure-Go build so GOROOT packages (net, os/user) resolve to
+	// their cgo-free file sets, which go/types can check from source.
+	ctx.CgoEnabled = false
+	return &Loader{
+		ctx:        ctx,
+		moduleRoot: root,
+		modulePath: modPath,
+		fset:       token.NewFileSet(),
+		deps:       make(map[string]*types.Package),
+	}, nil
+}
+
+// ModuleRoot returns the filesystem root of the loaded module.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// ModulePath returns the module's declared import path.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// findModule walks up from dir looking for go.mod and returns the module
+// root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// Load fully type-checks the package in dir, recording complete type
+// information for analysis. asPath overrides the import path the package is
+// attributed to (used by fixtures); if empty the path is derived from the
+// directory's position within the module.
+func (l *Loader) Load(dir string, asPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if asPath == "" {
+		rel, err := filepath.Rel(l.moduleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleRoot)
+		}
+		asPath = l.modulePath
+		if rel != "." {
+			asPath = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	files, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    (*depImporter)(l),
+		FakeImportC: true,
+	}
+	tpkg, err := conf.Check(asPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", asPath, err)
+	}
+	return &Package{
+		Path:  asPath,
+		Dir:   abs,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// parseDir parses the build-constrained non-test Go files of dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// depImporter resolves imports for type-checking. Module-local packages are
+// read from the module tree; everything else is resolved against GOROOT
+// (including the std vendor tree). Dependency packages are checked with
+// IgnoreFuncBodies: analysis only needs their exported API.
+type depImporter Loader
+
+func (imp *depImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(imp)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l.mu.Lock()
+	if pkg, ok := l.deps[path]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	l.mu.Unlock()
+
+	dir, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         imp,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+	}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking dependency %s: %w", path, err)
+	}
+	l.mu.Lock()
+	l.deps[path] = pkg
+	l.mu.Unlock()
+	return pkg, nil
+}
+
+// resolve maps an import path to a source directory.
+func (l *Loader) resolve(path string) (string, error) {
+	if path == l.modulePath {
+		return l.moduleRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), nil
+	}
+	for _, dir := range []string{
+		filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path)),
+		filepath.Join(l.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q", path)
+}

@@ -1,0 +1,77 @@
+// Package fixture seeds violations for the hotpathalloc analyzer. It is
+// loaded by the test harness as if it lived under dagger/internal/wire.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+type kind int
+
+// String methods are diagnostic-path by convention and exempt.
+func (k kind) String() string { return fmt.Sprintf("kind(%d)", int(k)) }
+
+func format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates on the hot path`
+}
+
+func sprintToo(n int) string {
+	return fmt.Sprint(n) // want `fmt\.Sprint allocates on the hot path`
+}
+
+func coldPanic(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n: %d", n)) // panic messages are cold
+	}
+}
+
+func coldError(b []byte) error {
+	if len(b) == 0 {
+		return errors.New(string(b)) // error construction is cold
+	}
+	return fmt.Errorf("trailing %q", string(b))
+}
+
+func convert(b []byte) string {
+	return string(b) // want `\[\]byte→string conversion allocates`
+}
+
+func mapKeyOK(m map[string]int, b []byte) int {
+	return m[string(b)] // compiler-optimized, no allocation
+}
+
+func compareOK(a, b []byte) bool {
+	return string(a) == string(b) // compiler-optimized, no allocation
+}
+
+func growLoop(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2) // want `append to out grows an un-preallocated slice`
+	}
+	return out
+}
+
+func growLiteralLoop(xs []int) []int {
+	out := []int{}
+	for _, x := range xs {
+		out = append(out, x) // want `append to out grows an un-preallocated slice`
+	}
+	return out
+}
+
+func growPreallocOK(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+func appendOnceOK(xs []int, x int) []int {
+	var out []int
+	out = append(out, x) // not in a loop
+	out = append(out, xs...)
+	return out
+}

@@ -147,7 +147,10 @@ func (r *Reliable) session(endpoint string) *txSession {
 // drainWindow releases queued packets into a freshly opened window. Caller
 // holds r.mu; released packets are returned for sending outside the lock.
 func (r *Reliable) drainWindow(s *txSession) [][]byte {
-	var out [][]byte
+	if len(s.waiting) == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, len(s.waiting))
 	for len(s.waiting) > 0 && float64(len(s.unacked)) < s.cwnd {
 		framed := s.waiting[0]
 		s.waiting = s.waiting[1:]
@@ -278,16 +281,19 @@ func (r *Reliable) retransmitLoop() {
 	defer r.wg.Done()
 	tick := time.NewTicker(r.rto / 2)
 	defer tick.Stop()
+	type resend struct {
+		endpoint string
+		pkt      []byte
+	}
+	// Reused across ticks so the steady-state retransmit scan is
+	// allocation-free.
+	due := make([]resend, 0, 64)
 	for {
 		select {
 		case <-r.stop:
 			return
 		case now := <-tick.C:
-			type resend struct {
-				endpoint string
-				pkt      []byte
-			}
-			var due []resend
+			due = due[:0]
 			r.mu.Lock()
 			for ep, s := range r.tx {
 				timedOut := false
