@@ -1,0 +1,26 @@
+//go:build !race
+
+package core
+
+import "testing"
+
+// TestSendRecvZeroAlloc is the tentpole acceptance check: once the pools are
+// warm, a synchronous in-process round trip (send, serve, receive, release)
+// performs zero heap allocations — across all goroutines, since AllocsPerRun
+// counts process-wide mallocs. Excluded under -race: the detector's
+// instrumentation allocates on its own behalf.
+func TestSendRecvZeroAlloc(t *testing.T) {
+	cli, _, shutdown := testPair(t, ServerConfig{})
+	defer shutdown()
+	warmAllocPath(t, cli, 200)
+	avg := testing.AllocsPerRun(500, func() {
+		resp, err := cli.Call(0, allocReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Release(resp)
+	})
+	if avg != 0 {
+		t.Fatalf("round trip allocates %.2f times/op; want 0", avg)
+	}
+}

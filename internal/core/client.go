@@ -30,12 +30,36 @@ var (
 // cannot hang a dispatch thread forever.
 const DefaultTimeout = 5 * time.Second
 
-// call tracks one in-flight RPC.
+// call tracks one in-flight RPC. Instances are pooled: the done channel is
+// capacity 1 and signalled by send (never closed), so a call can be reused
+// across RPCs without reallocating the channel.
 type call struct {
+	id   uint64
+	sync bool
 	done chan struct{}
 	cb   func([]byte, error)
 	resp []byte
 	err  error
+}
+
+var callPool = sync.Pool{
+	New: func() any { return &call{done: make(chan struct{}, 1)} },
+}
+
+// timerPool recycles timeout timers across synchronous calls.
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
 }
 
 // RpcClient issues RPCs over one NIC flow (its RX/TX ring pair, Figure 7).
@@ -47,7 +71,7 @@ type RpcClient struct {
 	flow   *fabric.Flow
 
 	cq      *CompletionQueue
-	timeout time.Duration
+	timeout atomic.Int64 // nanoseconds; 0 disables the call timeout
 
 	mu      sync.Mutex
 	conns   map[uint32]uint32 // connID -> destination address
@@ -80,24 +104,36 @@ func NewRpcClient(nic *fabric.SoftNIC, flowID int) (*RpcClient, error) {
 		flowID:  uint16(flowID),
 		flow:    fl,
 		cq:      NewCompletionQueue(),
-		timeout: DefaultTimeout,
 		conns:   make(map[uint32]uint32),
 		pending: make(map[uint64]*call),
 		stop:    make(chan struct{}),
 	}
+	c.timeout.Store(int64(DefaultTimeout))
 	c.recvWG.Add(1)
 	go c.recvLoop()
 	return c, nil
 }
 
-// SetTimeout overrides the synchronous call timeout (0 disables it).
-func (c *RpcClient) SetTimeout(d time.Duration) { c.timeout = d }
+// SetTimeout overrides the synchronous call timeout (0 disables it). It is
+// safe to call concurrently with in-flight calls; calls that have already
+// started keep the timeout they observed.
+func (c *RpcClient) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
 // CompletionQueue returns the client's completion queue.
 func (c *RpcClient) CompletionQueue() *CompletionQueue { return c.cq }
 
 // FlowID returns the NIC flow this client owns.
 func (c *RpcClient) FlowID() uint16 { return c.flowID }
+
+// Release returns a response buffer obtained from Call/CallConn (or from a
+// completion) to the client's buffer pool. Optional — unreleased buffers are
+// simply reclaimed by the GC — but releasing keeps the round trip
+// allocation-free. The buffer must not be used after Release.
+func (c *RpcClient) Release(resp []byte) {
+	if resp != nil {
+		c.flow.Buffers().Put(resp)
+	}
+}
 
 // OpenConnection registers a connection to a destination address and
 // returns its connection ID. The first opened connection becomes the
@@ -121,7 +157,9 @@ func (c *RpcClient) OpenConnection(dstAddr uint32) (uint32, error) {
 	return id, nil
 }
 
-// CloseConnection removes a connection.
+// CloseConnection removes a connection. If the default connection is closed,
+// the lowest-numbered surviving connection becomes the new default —
+// deterministically, not at the mercy of map iteration order.
 func (c *RpcClient) CloseConnection(id uint32) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -132,42 +170,53 @@ func (c *RpcClient) CloseConnection(id uint32) error {
 	if c.defaultConn == id {
 		c.hasConn = false
 		for rest := range c.conns {
-			c.defaultConn = rest
-			c.hasConn = true
-			break
+			if !c.hasConn || rest < c.defaultConn {
+				c.defaultConn = rest
+				c.hasConn = true
+			}
 		}
 	}
 	return nil
 }
 
-// Call issues a blocking RPC on the default connection.
+// Call issues a blocking RPC on the default connection. The returned
+// response buffer is owned by the caller; pass it to Release when done to
+// keep the round trip allocation-free.
 func (c *RpcClient) Call(fnID uint16, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	conn := c.defaultConn
 	ok := c.hasConn
 	c.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("core: no open connection")
+		return nil, errNoConn()
 	}
 	return c.CallConn(conn, fnID, req)
 }
 
 // CallConn issues a blocking RPC on a specific connection.
 func (c *RpcClient) CallConn(connID uint32, fnID uint16, req []byte) ([]byte, error) {
-	cl, err := c.issue(connID, fnID, req, nil)
+	cl, err := c.issue(connID, fnID, req, nil, true)
 	if err != nil {
 		return nil, err
 	}
-	if c.timeout > 0 {
-		t := time.NewTimer(c.timeout)
-		defer t.Stop()
+	if timeout := time.Duration(c.timeout.Load()); timeout > 0 {
+		t := acquireTimer(timeout)
 		select {
 		case <-cl.done:
+			releaseTimer(t)
 		case <-t.C:
-			c.abandon(cl)
-			c.TimedOut.Add(1)
-			return nil, ErrTimeout
+			releaseTimer(t)
+			if c.abandon(cl) {
+				c.release(cl)
+				c.TimedOut.Add(1)
+				return nil, ErrTimeout
+			}
+			// The response raced in between the timer firing and the
+			// abandon: the receive path owns the call and is about to
+			// signal it. Consume the completion instead of timing out.
+			<-cl.done
 		case <-c.stop:
+			releaseTimer(t)
 			return nil, ErrClientClose
 		}
 	} else {
@@ -177,7 +226,9 @@ func (c *RpcClient) CallConn(connID uint32, fnID uint16, req []byte) ([]byte, er
 			return nil, ErrClientClose
 		}
 	}
-	return cl.resp, cl.err
+	resp, rerr := cl.resp, cl.err
+	c.release(cl)
+	return resp, rerr
 }
 
 // CallAsync issues a non-blocking RPC on the default connection; cb runs on
@@ -189,18 +240,20 @@ func (c *RpcClient) CallAsync(fnID uint16, req []byte, cb func([]byte, error)) e
 	ok := c.hasConn
 	c.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("core: no open connection")
+		return errNoConn()
 	}
 	return c.CallConnAsync(conn, fnID, req, cb)
 }
 
 // CallConnAsync issues a non-blocking RPC on a specific connection.
 func (c *RpcClient) CallConnAsync(connID uint32, fnID uint16, req []byte, cb func([]byte, error)) error {
-	_, err := c.issue(connID, fnID, req, cb)
+	_, err := c.issue(connID, fnID, req, cb, false)
 	return err
 }
 
-func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, cb func([]byte, error)) (*call, error) {
+func errNoConn() error { return fmt.Errorf("core: no open connection") }
+
+func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, cb func([]byte, error), sync bool) (*call, error) {
 	select {
 	case <-c.stop:
 		return nil, ErrClientClose
@@ -214,14 +267,14 @@ func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, cb func([]byte
 	}
 	c.nextRPC++
 	id := c.nextRPC
-	cl := &call{cb: cb}
-	if cb == nil {
-		cl.done = make(chan struct{})
-	}
+	cl := callPool.Get().(*call)
+	cl.id = id
+	cl.sync = sync
+	cl.cb = cb
 	c.pending[id] = cl
 	c.mu.Unlock()
 
-	m := &wire.Message{
+	m := wire.Message{
 		Header: wire.Header{
 			Kind:    wire.KindRequest,
 			ConnID:  connID,
@@ -233,42 +286,68 @@ func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, cb func([]byte
 		},
 		Payload: req,
 	}
-	if err := c.nic.Send(m); err != nil {
-		c.abandon(cl)
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+	if err := c.nic.Send(&m); err != nil {
+		// The frame never entered a ring, so no response can arrive for
+		// this RPC id; the call is safe to recycle once unregistered.
+		if c.abandon(cl) {
+			c.release(cl)
+		}
 		return nil, err
 	}
 	c.Issued.Add(1)
 	return cl, nil
 }
 
-func (c *RpcClient) abandon(target *call) {
+// abandon unregisters cl from the pending table, returning true if this
+// caller won ownership of the call. A false return means the receive path
+// already claimed it and will (or did) complete it.
+func (c *RpcClient) abandon(cl *call) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for id, cl := range c.pending {
-		if cl == target {
-			delete(c.pending, id)
-			return
-		}
+	if cur, ok := c.pending[cl.id]; ok && cur == cl {
+		delete(c.pending, cl.id)
+		return true
 	}
+	return false
+}
+
+// release returns a call to the pool. The caller must own the call (have
+// received its done signal, or won abandon).
+func (c *RpcClient) release(cl *call) {
+	select {
+	case <-cl.done: // drain a stale signal so the next user starts clean
+	default:
+	}
+	cl.id = 0
+	cl.sync = false
+	cl.cb = nil
+	cl.resp = nil
+	cl.err = nil
+	callPool.Put(cl)
 }
 
 // recvLoop is the client's receive path: it drains the flow's RX ring,
 // reassembles multi-line RPCs in software (§4.7: the interconnect's MTU is
-// one cache line), matches responses to pending calls, and completes them
-// through the CompletionQueue.
+// one cache line), matches responses to pending calls, and completes them.
+// Frames are recycled to the flow's buffer pool as soon as the reassembler
+// has consumed them; reassembled payloads are handed to callers owned
+// (synchronous calls) or parked in the CompletionQueue (asynchronous).
 func (c *RpcClient) recvLoop() {
 	defer c.recvWG.Done()
-	ras := wire.NewReassembler()
+	pool := c.flow.Buffers()
+	ras := wire.NewReassemblerPool(pool)
 	for {
 		frame, ok := c.flow.RecvResponse(c.stop)
 		if !ok {
 			return
 		}
 		m, ok, err := reassemble(ras, c.flowID, frame)
-		if err != nil || !ok || m.Kind != wire.KindResponse {
+		pool.Put(frame)
+		if err != nil || !ok {
+			continue
+		}
+		if m.Kind != wire.KindResponse {
+			pool.Put(m.Payload)
 			continue
 		}
 		c.mu.Lock()
@@ -278,24 +357,30 @@ func (c *RpcClient) recvLoop() {
 		}
 		c.mu.Unlock()
 		if !ok {
-			continue // late response after timeout
+			pool.Put(m.Payload) // late response after timeout
+			continue
 		}
 		var resp []byte
 		var rerr error
 		if m.Flags&flagError != 0 {
 			rerr = fmt.Errorf("%w: %s", ErrRemote, string(m.Payload))
+			pool.Put(m.Payload)
 		} else {
-			resp = append([]byte(nil), m.Payload...)
+			resp = m.Payload
 		}
 		c.Completed.Add(1)
+		if cl.sync {
+			// Ownership of resp transfers to the blocked caller; the
+			// CompletionQueue only accumulates asynchronous completions.
+			cl.resp, cl.err = resp, rerr
+			cl.done <- struct{}{}
+			continue
+		}
 		c.cq.complete(completion{RPCID: m.RPCID, FnID: m.FnID, Resp: resp, Err: rerr})
 		if cl.cb != nil {
 			cl.cb(resp, rerr)
 		}
-		if cl.done != nil {
-			cl.resp, cl.err = resp, rerr
-			close(cl.done)
-		}
+		c.release(cl)
 	}
 }
 
@@ -311,7 +396,8 @@ const flagError = 0x1
 
 // reassemble feeds one delivered frame's cache lines through the software
 // reassembler, returning the completed message if the frame's last line
-// finishes an RPC.
+// finishes an RPC. The frame is fully consumed: the caller may recycle it
+// as soon as reassemble returns.
 func reassemble(ras *wire.Reassembler, flowID uint16, frame []byte) (wire.Message, bool, error) {
 	var (
 		m    wire.Message

@@ -15,7 +15,7 @@ import (
 )
 
 // testPair builds a client NIC and a started echo server.
-func testPair(t *testing.T, cfg ServerConfig) (*RpcClient, *RpcThreadedServer, func()) {
+func testPair(t testing.TB, cfg ServerConfig) (*RpcClient, *RpcThreadedServer, func()) {
 	t.Helper()
 	f := fabric.NewFabric()
 	cnic, err := f.CreateNIC(1, 2, 256)

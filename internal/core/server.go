@@ -36,6 +36,10 @@ func (m ThreadingModel) String() string {
 }
 
 // Handler processes one request payload and returns the response payload.
+// The request buffer is borrowed: the server recycles it after the response
+// is sent, so a handler that wants to keep request bytes past its return
+// must copy them. The returned response is read (marshalled into a frame)
+// before the handler's thread proceeds, and is not retained.
 type Handler func(req []byte) ([]byte, error)
 
 // ServerConfig configures an RpcThreadedServer.
@@ -185,14 +189,20 @@ func (s *RpcThreadedServer) Stop() {
 
 func (s *RpcThreadedServer) dispatchLoop(t *RpcServerThread) {
 	defer s.wg.Done()
-	ras := wire.NewReassembler()
+	pool := t.flow.Buffers()
+	ras := wire.NewReassemblerPool(pool)
 	for {
 		frame, ok := t.flow.Recv(s.stop)
 		if !ok {
 			return
 		}
 		m, ok, err := reassemble(ras, t.flowID, frame)
-		if err != nil || !ok || m.Kind != wire.KindRequest {
+		pool.Put(frame)
+		if err != nil || !ok {
+			continue
+		}
+		if m.Kind != wire.KindRequest {
+			pool.Put(m.Payload)
 			continue
 		}
 		if s.cfg.Threading == WorkerThreads {
@@ -254,6 +264,10 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 	// Best-effort: a full client ring drops the response, mirroring the
 	// paper's lossy transport.
 	_ = s.nic.Send(&resp)
+	// The request payload (from the flow pool via the reassembler) is done:
+	// Send has marshalled the response, so recycling is safe even when the
+	// handler echoed the request buffer back as the response.
+	t.flow.Buffers().Put(m.Payload)
 
 	if tracer != nil {
 		if name == "" {

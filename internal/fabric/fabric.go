@@ -10,12 +10,33 @@
 // connection lookup, response steering, load balancing across server flows —
 // so the software above it (internal/core) stays as thin as the paper's
 // host stack: write an RPC object to a ring, read completions from a ring.
+//
+// # Buffer ownership
+//
+// The data path recycles frame buffers through size-classed free lists
+// (ringbuf.BufPool) instead of allocating per message, mirroring the paper's
+// free-buffer FIFOs. The ownership contract:
+//
+//   - SoftNIC.Send marshals into a buffer drawn from the destination flow's
+//     pool and hands ownership to the ring. The *wire.Message passed to Send
+//     is only read during the call; callers keep ownership of m.Payload.
+//   - The ring consumer (RpcClient recv loop or server dispatch thread) owns
+//     each frame it pops and must return it via Flow.Buffers().Put once the
+//     reassembler has consumed it.
+//   - Fabric.Inject takes ownership of its frame argument on every path,
+//     including errors: the buffer is either delivered to a ring or returned
+//     to a pool. Callers must not touch the frame after Inject returns.
+//   - A Gateway borrows the frame only for the duration of the call and must
+//     not retain it after returning; implementations that queue or retransmit
+//     (UDP, Reliable) copy it first.
+//   - Buffers handed to consumers by a pooled reassembler (Message.Payload)
+//     are owned by the consumer, which repays the loan with a Put on the same
+//     pool hierarchy when done.
 package fabric
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,17 +86,36 @@ type Flow struct {
 	resp    *ringbuf.Ring[[]byte]
 	reqWake chan struct{}
 	rspWake chan struct{}
+	pool    *ringbuf.BufPool
 	dropped atomic.Uint64
 }
 
-func newFlow(depth int) *Flow {
+// bufClasses are the buffer size classes shared by every data-path pool:
+// small control frames up to the largest legal frame, so any frame or
+// payload fits a pooled buffer.
+var bufClasses = []int{64, 256, 1024, 4096, wire.MaxFrameSize}
+
+// Per-class ring capacities: flowPoolSlots per flow, fabricPoolSlots in the
+// shared per-fabric parent that flow pools spill into and refill from.
+const (
+	flowPoolSlots   = 64
+	fabricPoolSlots = 256
+)
+
+func newFlow(depth int, parent *ringbuf.BufPool) *Flow {
 	return &Flow{
 		req:     ringbuf.New[[]byte](depth),
 		resp:    ringbuf.New[[]byte](depth),
 		reqWake: make(chan struct{}, 1),
 		rspWake: make(chan struct{}, 1),
+		pool:    ringbuf.NewBufPool(flowPoolSlots, parent, bufClasses...),
 	}
 }
+
+// Buffers returns the flow's frame buffer pool. Ring consumers return frames
+// here after the reassembler consumes them, and recycle reassembled payloads
+// here when done.
+func (f *Flow) Buffers() *ringbuf.BufPool { return f.pool }
 
 func (f *Flow) deliver(frame []byte, isResponse bool) bool {
 	ring, wake := f.req, f.reqWake
@@ -204,12 +244,19 @@ func (n *SoftNIC) pickFlow(m *wire.Message) uint16 {
 	n.mu.RUnlock()
 	switch balancer {
 	case BalanceUniform:
-		return uint16(n.rr.Add(1)-1) % uint16(len(n.flows))
+		// The modulo must happen at full counter width: narrowing to uint16
+		// first skews the distribution at every 65536 wrap whenever the flow
+		// count does not divide 65536.
+		return uint16((n.rr.Add(1) - 1) % uint32(len(n.flows)))
 	case BalanceObjectLevel:
 		key := extractor(m.Payload)
-		h := fnv.New32a()
-		h.Write(key)
-		return uint16(h.Sum32() % uint32(len(n.flows)))
+		// Inline FNV-1a; hash/fnv allocates its digest per call.
+		h := uint32(2166136261)
+		for _, b := range key {
+			h ^= uint32(b)
+			h *= 16777619
+		}
+		return uint16(h % uint32(len(n.flows)))
 	default: // static
 		n.mu.RLock()
 		f, ok := n.conns[connKey{m.SrcAddr, m.ConnID}]
@@ -224,7 +271,7 @@ func (n *SoftNIC) pickFlow(m *wire.Message) uint16 {
 		if f, ok := n.conns[connKey{m.SrcAddr, m.ConnID}]; ok {
 			return f
 		}
-		f = uint16(n.rr.Add(1)-1) % uint16(len(n.flows))
+		f = uint16((n.rr.Add(1) - 1) % uint32(len(n.flows)))
 		n.conns[connKey{m.SrcAddr, m.ConnID}] = f
 		return f
 	}
@@ -240,18 +287,24 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
-	frame, err := wire.MarshalAppend(nil, m)
-	if err != nil {
-		return err
-	}
 	dst := n.fab.lookup(m.DstAddr)
 	if dst == nil {
-		if gw := n.fab.gateway(); gw != nil {
-			n.RPCsOut.Add(1)
-			n.BytesOut.Add(uint64(len(frame)))
-			return gw(m.DstAddr, frame)
+		gw := n.fab.gateway()
+		if gw == nil {
+			return ErrNoRoute
 		}
-		return ErrNoRoute
+		// Marshal into a pooled scratch buffer; the gateway only borrows
+		// the frame for the duration of the call.
+		frame, err := wire.MarshalAppend(n.fab.pool.Get(m.WireSize())[:0], m)
+		if err != nil {
+			n.fab.pool.Put(frame)
+			return err
+		}
+		n.RPCsOut.Add(1)
+		n.BytesOut.Add(uint64(len(frame)))
+		err = gw(m.DstAddr, frame)
+		n.fab.pool.Put(frame)
+		return err
 	}
 	var flow uint16
 	switch m.Kind {
@@ -263,9 +316,18 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 	default:
 		flow = dst.pickFlow(m)
 	}
+	// Marshal into a buffer from the destination flow's pool; delivery
+	// transfers ownership to the ring, and the consumer recycles it.
+	fl := dst.flows[flow]
+	frame, err := wire.MarshalAppend(fl.pool.Get(m.WireSize())[:0], m)
+	if err != nil {
+		fl.pool.Put(frame)
+		return err
+	}
 	n.RPCsOut.Add(1)
 	n.BytesOut.Add(uint64(len(frame)))
-	if !dst.flows[flow].deliver(frame, m.Kind == wire.KindResponse) {
+	if !fl.deliver(frame, m.Kind == wire.KindResponse) {
+		fl.pool.Put(frame)
 		n.Drops.Add(1)
 		return ErrRingFull
 	}
@@ -275,7 +337,9 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 }
 
 // Gateway forwards frames addressed to NICs not present on this fabric —
-// the hook a cross-host transport (internal/transport) attaches to.
+// the hook a cross-host transport (internal/transport) attaches to. The
+// frame is borrowed: the gateway must not retain it after returning, and
+// must copy it if transmission outlives the call.
 type Gateway func(dstAddr uint32, frame []byte) error
 
 // Fabric connects SoftNICs by address.
@@ -283,12 +347,20 @@ type Fabric struct {
 	mu   sync.RWMutex
 	nics map[uint32]*SoftNIC
 	gw   Gateway
+	pool *ringbuf.BufPool
 }
 
 // NewFabric creates an empty fabric.
 func NewFabric() *Fabric {
-	return &Fabric{nics: make(map[uint32]*SoftNIC)}
+	return &Fabric{
+		nics: make(map[uint32]*SoftNIC),
+		pool: ringbuf.NewBufPool(fabricPoolSlots, nil, bufClasses...),
+	}
 }
+
+// Buffers returns the fabric-wide buffer pool, the parent that per-flow
+// pools spill into. Gateways draw frames destined for Inject from here.
+func (f *Fabric) Buffers() *ringbuf.BufPool { return f.pool }
 
 // SetGateway attaches the route of last resort for non-local destinations.
 func (f *Fabric) SetGateway(gw Gateway) {
@@ -305,13 +377,17 @@ func (f *Fabric) gateway() Gateway {
 
 // Inject delivers a frame arriving from a gateway (e.g. a UDP transport) to
 // the local destination NIC, applying the same steering as local sends.
+// Inject takes ownership of frame on every path: it is either delivered to
+// a ring (and recycled by the consumer) or returned to a buffer pool.
 func (f *Fabric) Inject(frame []byte) error {
 	m, _, err := wire.Unmarshal(frame)
 	if err != nil {
+		f.pool.Put(frame)
 		return err
 	}
 	dst := f.lookup(m.DstAddr)
 	if dst == nil {
+		f.pool.Put(frame)
 		return ErrNoRoute
 	}
 	var flow uint16
@@ -320,7 +396,12 @@ func (f *Fabric) Inject(frame []byte) error {
 	} else {
 		flow = dst.pickFlow(&m)
 	}
-	if !dst.flows[flow].deliver(frame, m.Kind == wire.KindResponse) {
+	fl := dst.flows[flow]
+	if !fl.deliver(frame, m.Kind == wire.KindResponse) {
+		// Count the drop on the destination NIC so cross-host drop
+		// accounting matches the in-process Send path.
+		fl.pool.Put(frame)
+		dst.Drops.Add(1)
 		return ErrRingFull
 	}
 	dst.RPCsIn.Add(1)
@@ -346,7 +427,7 @@ func (f *Fabric) CreateNIC(addr uint32, nflows, ringDepth int) (*SoftNIC, error)
 		conns: make(map[connKey]uint16),
 	}
 	for i := 0; i < nflows; i++ {
-		n.flows = append(n.flows, newFlow(ringDepth))
+		n.flows = append(n.flows, newFlow(ringDepth, f.pool))
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()

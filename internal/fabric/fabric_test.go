@@ -120,6 +120,46 @@ func TestFabricUniformBalancer(t *testing.T) {
 	}
 }
 
+func TestUniformSteeringUnbiasedAcrossWrap(t *testing.T) {
+	f := NewFabric()
+	a, err := f.CreateNIC(1, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.CreateNIC(2, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetBalancer(BalanceUniform, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Park the round-robin counter so the send window straddles the 16-bit
+	// boundary at a misaligned offset. The old steering truncated the
+	// counter to uint16 before the modulo, which replays residue 0 at the
+	// wrap (65535 % 3 == 0 and uint16(65536) % 3 == 0) and skews the split
+	// to 21/20/19; full-width modulo keeps it exactly uniform.
+	b.rr.Store(1<<16 - 31)
+	const sends = 60
+	for i := 0; i < sends; i++ {
+		if err := a.Send(req(1, 2, uint32(i), 0, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < b.NumFlows(); i++ {
+		fl, _ := b.Flow(i)
+		n := 0
+		for {
+			if _, ok := fl.TryRecv(); !ok {
+				break
+			}
+			n++
+		}
+		if n != sends/3 {
+			t.Fatalf("flow %d got %d of %d across the counter wrap, want %d", i, n, sends, sends/3)
+		}
+	}
+}
+
 func TestFabricObjectLevelBalancer(t *testing.T) {
 	_, a, b := twoNICs(t)
 	if err := b.SetBalancer(BalanceObjectLevel, func(p []byte) []byte { return p }); err != nil {
@@ -305,7 +345,9 @@ func TestGatewayForwardsNonLocal(t *testing.T) {
 	var forwardedTo uint32
 	f.SetGateway(func(dst uint32, frame []byte) error {
 		forwardedTo = dst
-		forwarded = frame
+		// Per the Gateway contract the frame is borrowed (it is recycled
+		// once the gateway returns), so retaining it requires a copy.
+		forwarded = append([]byte(nil), frame...)
 		return nil
 	})
 	if err := a.Send(req(1, 777, 1, 0, "remote")); err != nil {
@@ -361,6 +403,32 @@ func TestInjectDeliversAndSteers(t *testing.T) {
 	}
 	if err := f.Inject(make([]byte, wire.CacheLineSize)); err == nil {
 		t.Fatal("garbage frame injected successfully")
+	}
+}
+
+func TestInjectFullRingCountsDrops(t *testing.T) {
+	f := NewFabric()
+	b, err := f.CreateNIC(2, 1, 2) // tiny RX ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 5; i++ {
+		if err := f.Inject(frameTo(t, 2)); err != nil {
+			lastErr = err
+		}
+	}
+	if lastErr != ErrRingFull {
+		t.Fatalf("err = %v, want ErrRingFull", lastErr)
+	}
+	// Gateway-path drops must hit the destination NIC's monitor counter,
+	// matching the accounting local Send performs.
+	if b.Drops.Load() != 3 {
+		t.Fatalf("destination Drops = %d, want 3", b.Drops.Load())
+	}
+	fl, _ := b.Flow(0)
+	if fl.Dropped() != 3 {
+		t.Fatalf("flow dropped = %d, want 3", fl.Dropped())
 	}
 }
 

@@ -1,0 +1,126 @@
+package ringbuf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBufPoolGetLenAndCap(t *testing.T) {
+	p := NewBufPool(4, nil, 64, 256, 1024)
+	for _, n := range []int{1, 63, 64, 65, 256, 1000, 1024} {
+		b := p.Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) len = %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d) cap = %d < n", n, cap(b))
+		}
+	}
+	if b := p.Get(0); b != nil {
+		t.Fatal("Get(0) should be nil")
+	}
+	if b := p.Get(-1); b != nil {
+		t.Fatal("Get(-1) should be nil")
+	}
+	// Oversized requests fall through to the allocator.
+	if b := p.Get(4096); len(b) != 4096 {
+		t.Fatal("oversized Get wrong length")
+	}
+}
+
+func TestBufPoolRecyclesSameBuffer(t *testing.T) {
+	p := NewBufPool(4, nil, 64, 256)
+	b := p.Get(100)
+	b[0] = 42
+	p.Put(b)
+	got := p.Get(100)
+	if &got[0] != &b[0] {
+		t.Fatal("Put then Get did not recycle the same buffer")
+	}
+	// A recycled buffer must satisfy any request up to its class size.
+	p.Put(got)
+	big := p.Get(256)
+	if &big[0] != &b[0] {
+		t.Fatal("recycled buffer not reused for a larger request within its class")
+	}
+}
+
+func TestBufPoolClassPlacement(t *testing.T) {
+	p := NewBufPool(4, nil, 64, 256)
+	// A 256-cap buffer filed under the 256 class must never be returned
+	// for... rather, must still satisfy Get(256); a 100-cap buffer must not.
+	odd := make([]byte, 100)
+	p.Put(odd) // cap 100: filed under class 64
+	got := p.Get(256)
+	if cap(got) < 256 {
+		t.Fatalf("Get(256) returned cap %d", cap(got))
+	}
+	// The 100-cap buffer was filed under the 64 class (largest class its
+	// capacity satisfies), so it serves requests up to 64 bytes.
+	small := p.Get(60)
+	if &small[0] != &odd[0] {
+		t.Fatal("100-cap buffer should satisfy Get(60) from the 64 class")
+	}
+	// Tiny and nil buffers are dropped, not filed.
+	p.Put(make([]byte, 10))
+	p.Put(nil)
+	if b := p.Get(32); cap(b) < 32 {
+		t.Fatal("Get after dropped Put returned bad buffer")
+	}
+}
+
+func TestBufPoolParentSpillAndRefill(t *testing.T) {
+	parent := NewBufPool(8, nil, 64)
+	child := NewBufPool(2, parent, 64)
+	bufs := make([][]byte, 4)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	// Child ring holds 2; the rest must spill to the parent.
+	for _, b := range bufs {
+		child.Put(b)
+	}
+	seen := map[*byte]bool{}
+	for i := 0; i < 4; i++ {
+		b := child.Get(64)
+		seen[&b[0]] = true
+	}
+	for i, b := range bufs {
+		if !seen[&b[0]] {
+			t.Fatalf("buffer %d lost: neither child ring nor parent returned it", i)
+		}
+	}
+}
+
+func TestBufPoolConcurrent(t *testing.T) {
+	parent := NewBufPool(64, nil, 64, 1024)
+	child := NewBufPool(8, parent, 64, 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := child.Get(1 + i%1024)
+				b[0] = byte(i)
+				child.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBufPoolPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no classes", func() { NewBufPool(4, nil) })
+	mustPanic("descending classes", func() { NewBufPool(4, nil, 256, 64) })
+	mustPanic("duplicate classes", func() { NewBufPool(4, nil, 64, 64) })
+}

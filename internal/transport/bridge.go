@@ -49,10 +49,14 @@ func (b *Bridge) forward(dstAddr uint32, frame []byte) error {
 	return b.conn.Send(ep, frame)
 }
 
-func (b *Bridge) onFrame(frame []byte, _ string) {
+func (b *Bridge) onFrame(pkt []byte, _ string) {
 	if b.closed.Load() {
 		return
 	}
+	// pkt is borrowed from the conn, but Inject takes ownership of its
+	// argument — so copy into a pooled frame buffer first.
+	frame := b.fab.Buffers().Get(len(pkt))
+	copy(frame, pkt)
 	if err := b.fab.Inject(frame); err != nil {
 		b.InjectErr.Add(1)
 		return

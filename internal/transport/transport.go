@@ -14,7 +14,9 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by transports.
@@ -32,7 +34,9 @@ type PacketConn interface {
 	Send(endpoint string, pkt []byte) error
 	// SetHandler installs the receive callback; it is invoked once per
 	// inbound datagram with the sender's endpoint. Must be called before
-	// traffic flows.
+	// traffic flows. The pkt slice is borrowed: it is only valid for the
+	// duration of the callback, and a handler that retains it must copy
+	// (this lets implementations reuse one receive buffer).
 	SetHandler(func(pkt []byte, from string))
 	// LocalEndpoint returns this conn's own endpoint name.
 	LocalEndpoint() string
@@ -50,9 +54,13 @@ type Route struct {
 
 // RouteTable resolves destination NIC addresses to peer endpoints — the
 // static switching table of the paper's ToR model, stretched across hosts.
+// Routes are kept sorted by Lo and must not overlap, so Resolve is a
+// lock-free, allocation-free binary search (it runs on the per-frame
+// forwarding path); Add copies the table, which is fine for the rare
+// control-plane write.
 type RouteTable struct {
-	mu     sync.RWMutex
-	routes []Route
+	mu     sync.Mutex              // serializes writers
+	routes atomic.Pointer[[]Route] // sorted by Lo, non-overlapping
 }
 
 // NewRouteTable builds a table from routes.
@@ -64,24 +72,52 @@ func NewRouteTable(routes ...Route) *RouteTable {
 	return t
 }
 
-// Add appends a route.
+// Add inserts a route, keeping the table sorted. It panics on an inverted
+// range or one that overlaps an existing route (one address must resolve to
+// exactly one peer).
 func (t *RouteTable) Add(r Route) {
 	if r.Hi < r.Lo {
 		panic(fmt.Sprintf("transport: route range [%d, %d] inverted", r.Lo, r.Hi))
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.routes = append(t.routes, r)
+	var cur []Route
+	if p := t.routes.Load(); p != nil {
+		cur = *p
+	}
+	i := sort.Search(len(cur), func(j int) bool { return cur[j].Lo > r.Lo })
+	if i > 0 && cur[i-1].Hi >= r.Lo {
+		panic(fmt.Sprintf("transport: route [%d, %d] overlaps [%d, %d]", r.Lo, r.Hi, cur[i-1].Lo, cur[i-1].Hi))
+	}
+	if i < len(cur) && cur[i].Lo <= r.Hi {
+		panic(fmt.Sprintf("transport: route [%d, %d] overlaps [%d, %d]", r.Lo, r.Hi, cur[i].Lo, cur[i].Hi))
+	}
+	next := make([]Route, 0, len(cur)+1)
+	next = append(next, cur[:i]...)
+	next = append(next, r)
+	next = append(next, cur[i:]...)
+	t.routes.Store(&next)
 }
 
-// Resolve returns the endpoint owning addr.
+// Resolve returns the endpoint owning addr: a binary search for the route
+// with the greatest Lo not above addr, then an upper-bound check.
 func (t *RouteTable) Resolve(addr uint32) (string, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, r := range t.routes {
-		if addr >= r.Lo && addr <= r.Hi {
-			return r.Endpoint, true
+	p := t.routes.Load()
+	if p == nil {
+		return "", false
+	}
+	routes := *p
+	lo, hi := 0, len(routes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if routes[mid].Lo <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo > 0 && addr <= routes[lo-1].Hi {
+		return routes[lo-1].Endpoint, true
 	}
 	return "", false
 }

@@ -31,6 +31,68 @@ func TestRouteTable(t *testing.T) {
 	}
 }
 
+// TestRouteTableBinarySearch covers the sorted-interval lookup: unsorted
+// insertion order, exact boundary addresses, gaps between ranges, and the
+// extremes of the address space.
+func TestRouteTableBinarySearch(t *testing.T) {
+	rt := NewRouteTable(
+		Route{Lo: 500, Hi: 599, Endpoint: "hostC"},
+		Route{Lo: 100, Hi: 199, Endpoint: "hostA"},
+		Route{Lo: 300, Hi: 300, Endpoint: "hostB"},
+		Route{Lo: 0, Hi: 0, Endpoint: "zero"},
+		Route{Lo: 1 << 31, Hi: ^uint32(0), Endpoint: "high"},
+	)
+	cases := []struct {
+		addr uint32
+		ep   string
+		ok   bool
+	}{
+		{0, "zero", true},
+		{1, "", false},
+		{99, "", false},
+		{100, "hostA", true},
+		{199, "hostA", true},
+		{200, "", false},
+		{300, "hostB", true},
+		{301, "", false},
+		{499, "", false},
+		{500, "hostC", true},
+		{599, "hostC", true},
+		{600, "", false},
+		{1 << 31, "high", true},
+		{^uint32(0), "high", true},
+		{1<<31 - 1, "", false},
+	}
+	for _, c := range cases {
+		if ep, ok := rt.Resolve(c.addr); ok != c.ok || ep != c.ep {
+			t.Fatalf("Resolve(%d) = %q,%v; want %q,%v", c.addr, ep, ok, c.ep, c.ok)
+		}
+	}
+	// Empty table.
+	if _, ok := NewRouteTable().Resolve(42); ok {
+		t.Fatal("empty table resolved an address")
+	}
+}
+
+func TestRouteTableRejectsOverlap(t *testing.T) {
+	overlaps := [][2]Route{
+		{{Lo: 100, Hi: 199, Endpoint: "a"}, {Lo: 150, Hi: 250, Endpoint: "b"}},
+		{{Lo: 100, Hi: 199, Endpoint: "a"}, {Lo: 50, Hi: 100, Endpoint: "b"}},
+		{{Lo: 100, Hi: 199, Endpoint: "a"}, {Lo: 100, Hi: 199, Endpoint: "b"}},
+		{{Lo: 100, Hi: 199, Endpoint: "a"}, {Lo: 120, Hi: 130, Endpoint: "b"}},
+	}
+	for i, pair := range overlaps {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: overlapping route accepted", i)
+				}
+			}()
+			NewRouteTable(pair[0], pair[1])
+		}()
+	}
+}
+
 func TestRouteTableRejectsInverted(t *testing.T) {
 	defer func() {
 		if recover() == nil {

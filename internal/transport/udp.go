@@ -52,9 +52,10 @@ func (u *UDPConn) recvLoop() {
 		h := u.handler
 		u.mu.RUnlock()
 		if h != nil {
-			pkt := make([]byte, n)
-			copy(pkt, buf[:n])
-			h(pkt, from.String())
+			// The receive buffer is reused across datagrams; handlers get
+			// a borrowed view per the PacketConn contract and copy if they
+			// retain it.
+			h(buf[:n], from.String())
 		}
 	}
 }

@@ -26,6 +26,11 @@ const FirstLinePayload = CacheLineSize - HeaderSize
 // range from a few bytes to a few kilobytes.
 const MaxPayload = 16 * 1024
 
+// MaxFrameSize is the largest framed message: a MaxPayload message padded to
+// whole cache lines. Buffer pools on the data path size their largest class
+// to this, so any legal frame fits a pooled buffer.
+const MaxFrameSize = (1 + (MaxPayload-FirstLinePayload+CacheLineSize-1)/CacheLineSize) * CacheLineSize
+
 // Magic identifies Dagger frames on the wire.
 const Magic uint16 = 0xDA66
 
@@ -131,32 +136,47 @@ func MarshalAppend(dst []byte, m *Message) ([]byte, error) {
 	return dst, nil
 }
 
+// ParseHeader decodes and validates the fixed-size header at the front of a
+// frame's first cache line. It needs only HeaderSize bytes, so the
+// reassembler can validate a frame from its first line alone.
+func ParseHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, ErrShortBuffer
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != Magic {
+		return Header{}, ErrBadMagic
+	}
+	k := Kind(buf[2])
+	if k < KindRequest || k > KindDisconnect {
+		return Header{}, ErrBadKind
+	}
+	var h Header
+	h.Kind = k
+	h.Flags = buf[3]
+	h.ConnID = binary.LittleEndian.Uint32(buf[4:])
+	h.RPCID = binary.LittleEndian.Uint64(buf[8:])
+	h.FlowID = binary.LittleEndian.Uint16(buf[16:])
+	h.FnID = binary.LittleEndian.Uint16(buf[18:])
+	h.Len = binary.LittleEndian.Uint32(buf[20:])
+	h.SrcAddr = binary.LittleEndian.Uint32(buf[24:])
+	h.DstAddr = binary.LittleEndian.Uint32(buf[28:])
+	if h.Len > MaxPayload {
+		return Header{}, ErrTooLarge
+	}
+	return h, nil
+}
+
 // Unmarshal decodes one frame from buf, returning the message, the number of
 // bytes consumed, and an error. The returned payload aliases buf.
 func Unmarshal(buf []byte) (Message, int, error) {
 	if len(buf) < CacheLineSize {
 		return Message{}, 0, ErrShortBuffer
 	}
-	if binary.LittleEndian.Uint16(buf[0:]) != Magic {
-		return Message{}, 0, ErrBadMagic
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return Message{}, 0, err
 	}
-	k := Kind(buf[2])
-	if k < KindRequest || k > KindDisconnect {
-		return Message{}, 0, ErrBadKind
-	}
-	var m Message
-	m.Kind = k
-	m.Flags = buf[3]
-	m.ConnID = binary.LittleEndian.Uint32(buf[4:])
-	m.RPCID = binary.LittleEndian.Uint64(buf[8:])
-	m.FlowID = binary.LittleEndian.Uint16(buf[16:])
-	m.FnID = binary.LittleEndian.Uint16(buf[18:])
-	m.Len = binary.LittleEndian.Uint32(buf[20:])
-	m.SrcAddr = binary.LittleEndian.Uint32(buf[24:])
-	m.DstAddr = binary.LittleEndian.Uint32(buf[28:])
-	if m.Len > MaxPayload {
-		return Message{}, 0, ErrTooLarge
-	}
+	m := Message{Header: h}
 	total := LinesFor(int(m.Len)) * CacheLineSize
 	if len(buf) < total {
 		return Message{}, 0, ErrShortBuffer
