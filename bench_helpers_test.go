@@ -1,6 +1,7 @@
 package dagger_test
 
 import (
+	"context"
 	"testing"
 
 	"dagger/internal/core"
@@ -16,7 +17,7 @@ type echoSrv struct{ s *core.RpcThreadedServer }
 func newEchoServer(tb testing.TB, nic *fabric.SoftNIC) *echoSrv {
 	tb.Helper()
 	s := core.NewRpcThreadedServer(nic, serverCfg())
-	if err := s.Register(0, "echo", func(req []byte) ([]byte, error) { return req, nil }); err != nil {
+	if err := s.Register(0, "echo", func(_ context.Context, req []byte) ([]byte, error) { return req, nil }); err != nil {
 		tb.Fatal(err)
 	}
 	if err := s.Start(); err != nil {

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -86,7 +87,7 @@ func runServer(pc transport.PacketConn, endpoint string, flows int, lifetime tim
 		fatal(err)
 	}
 	srv := core.NewRpcThreadedServer(nic, core.ServerConfig{})
-	if err := srv.Register(fnEcho, "load.echo", func(req []byte) ([]byte, error) {
+	if err := srv.Register(fnEcho, "load.echo", func(_ context.Context, req []byte) ([]byte, error) {
 		return req, nil
 	}); err != nil {
 		fatal(err)

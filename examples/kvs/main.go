@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"dagger/examples/kvs/kvsproto"
 	"dagger/internal/core"
@@ -33,13 +35,13 @@ type idlStore struct {
 	m map[[32]byte][32]byte
 }
 
-func (s *idlStore) Get(req *kvsproto.GetRequest) (*kvsproto.GetResponse, error) {
+func (s *idlStore) Get(_ context.Context, req *kvsproto.GetRequest) (*kvsproto.GetResponse, error) {
 	resp := &kvsproto.GetResponse{Timestamp: req.Timestamp}
 	resp.Value = s.m[req.Key]
 	return resp, nil
 }
 
-func (s *idlStore) Set(req *kvsproto.SetRequest) (*kvsproto.SetResponse, error) {
+func (s *idlStore) Set(_ context.Context, req *kvsproto.SetRequest) (*kvsproto.SetResponse, error) {
 	s.m[req.Key] = req.Value
 	return &kvsproto.SetResponse{Timestamp: req.Timestamp, Ok: true}, nil
 }
@@ -75,13 +77,18 @@ func main() {
 	}
 	kv := kvsproto.NewKeyValueStoreClient(cli)
 
+	// Typed stubs are ctx-first: the deadline budget rides the wire, so a
+	// slow or overloaded server sheds the request instead of doing doomed
+	// work after the client gives up.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
 	var key, val [32]byte
 	copy(key[:], "dagger:paper")
 	copy(val[:], "ASPLOS 2021")
-	if _, err := kv.Set(&kvsproto.SetRequest{Timestamp: 1, Key: key, Value: val}); err != nil {
+	if _, err := kv.Set(ctx, &kvsproto.SetRequest{Timestamp: 1, Key: key, Value: val}); err != nil {
 		log.Fatal(err)
 	}
-	got, err := kv.Get(&kvsproto.GetRequest{Timestamp: 2, Key: key})
+	got, err := kv.Get(ctx, &kvsproto.GetRequest{Timestamp: 2, Key: key})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -60,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	echoSrv := core.NewRpcThreadedServer(echoNIC, core.ServerConfig{})
-	if err := echoSrv.Register(0, "echo", func(req []byte) ([]byte, error) {
+	if err := echoSrv.Register(0, "echo", func(_ context.Context, req []byte) ([]byte, error) {
 		return req, nil
 	}); err != nil {
 		log.Fatal(err)

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"dagger/internal/core"
 	"dagger/internal/fabric"
@@ -39,7 +41,7 @@ func main() {
 	// Server: one dispatch thread per NIC flow runs the handler directly
 	// (the low-latency threading model).
 	srv := core.NewRpcThreadedServer(serverNIC, core.ServerConfig{})
-	if err := srv.Register(fnGreet, "greeter.greet", func(req []byte) ([]byte, error) {
+	if err := srv.Register(fnGreet, "greeter.greet", func(_ context.Context, req []byte) ([]byte, error) {
 		return []byte("Hello, " + string(req) + "!"), nil
 	}); err != nil {
 		log.Fatal(err)
@@ -59,8 +61,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Synchronous (blocking) call.
-	resp, err := cli.Call(fnGreet, []byte("Dagger"))
+	// Synchronous (blocking) call. The context deadline becomes the RPC's
+	// budget on the wire: every downstream tier sees the time remaining and
+	// sheds the request once it expires instead of doing doomed work.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	resp, err := cli.CallContext(ctx, fnGreet, []byte("Dagger"))
 	if err != nil {
 		log.Fatal(err)
 	}

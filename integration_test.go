@@ -7,6 +7,7 @@ package dagger_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -27,7 +28,7 @@ type mapKVS struct {
 	m  map[[32]byte][32]byte
 }
 
-func (s *mapKVS) Get(req *kvsproto.GetRequest) (*kvsproto.GetResponse, error) {
+func (s *mapKVS) Get(_ context.Context, req *kvsproto.GetRequest) (*kvsproto.GetResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	resp := &kvsproto.GetResponse{Timestamp: req.Timestamp}
@@ -35,7 +36,7 @@ func (s *mapKVS) Get(req *kvsproto.GetRequest) (*kvsproto.GetResponse, error) {
 	return resp, nil
 }
 
-func (s *mapKVS) Set(req *kvsproto.SetRequest) (*kvsproto.SetResponse, error) {
+func (s *mapKVS) Set(_ context.Context, req *kvsproto.SetRequest) (*kvsproto.SetResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m[req.Key] = req.Value
@@ -66,11 +67,11 @@ func TestGeneratedStubsEndToEnd(t *testing.T) {
 	var key, val [32]byte
 	copy(key[:], "integration")
 	copy(val[:], "through-stubs")
-	setResp, err := kv.Set(&kvsproto.SetRequest{Timestamp: 1, Key: key, Value: val})
+	setResp, err := kv.Set(context.Background(), &kvsproto.SetRequest{Timestamp: 1, Key: key, Value: val})
 	if err != nil || !setResp.Ok {
 		t.Fatalf("set: %+v %v", setResp, err)
 	}
-	getResp, err := kv.Get(&kvsproto.GetRequest{Timestamp: 2, Key: key})
+	getResp, err := kv.Get(context.Background(), &kvsproto.GetRequest{Timestamp: 2, Key: key})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestGeneratedStubsEndToEnd(t *testing.T) {
 
 	// Async stub path.
 	done := make(chan *kvsproto.GetResponse, 1)
-	if err := kv.GetAsync(&kvsproto.GetRequest{Timestamp: 3, Key: key}, func(r *kvsproto.GetResponse, err error) {
+	if err := kv.GetAsync(context.Background(), &kvsproto.GetRequest{Timestamp: 3, Key: key}, func(r *kvsproto.GetResponse, err error) {
 		if err != nil {
 			t.Errorf("async: %v", err)
 		}
@@ -105,7 +106,7 @@ func TestMultiLineRPCs(t *testing.T) {
 	cnic, _ := fab.CreateNIC(1, 1, 256)
 	snic, _ := fab.CreateNIC(2, 1, 256)
 	srv := core.NewRpcThreadedServer(snic, core.ServerConfig{})
-	_ = srv.Register(0, "sum", func(req []byte) ([]byte, error) {
+	_ = srv.Register(0, "sum", func(_ context.Context, req []byte) ([]byte, error) {
 		var sum byte
 		for _, b := range req {
 			sum += b
@@ -162,7 +163,7 @@ func TestTracedServiceOverUDP(t *testing.T) {
 	srv := core.NewRpcThreadedServer(snic, core.ServerConfig{Threading: core.WorkerThreads, Workers: 2})
 	tc := trace.NewCollector(0)
 	_ = srv.SetTracer(tc)
-	_ = srv.Register(0, "remote.work", func(req []byte) ([]byte, error) {
+	_ = srv.Register(0, "remote.work", func(_ context.Context, req []byte) ([]byte, error) {
 		return append([]byte("done:"), req...), nil
 	})
 	_ = srv.Start()

@@ -90,6 +90,9 @@ func TestRepoClean(t *testing.T) {
 		"../sim", "../interconnect", "../nicmodel", "../netmodel",
 		"../microsim", "../experiments",
 		"../core", "../transport", "../fabric", "../ringbuf", "../wire",
+		"../../examples/quickstart", "../../examples/kvs",
+		"../../examples/flight", "../../examples/socialnet",
+		"../../examples/multitenant",
 	}
 	all := []*Analyzer{SimDeterminism, LockSafety, HotPathAlloc, ErrCheckLite}
 	for _, dir := range dirs {

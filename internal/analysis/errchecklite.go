@@ -23,6 +23,9 @@ var errScopes = []string{
 	"dagger/internal/fabric",
 	"dagger/internal/ringbuf",
 	"dagger/internal/wire",
+	// Examples are copied into real services; a dropped error there is a
+	// bug template.
+	"dagger/examples",
 }
 
 // errCheckExempt lists receiver types whose methods cannot fail
@@ -31,6 +34,16 @@ var errCheckExempt = [][2]string{
 	{"bytes", "Buffer"},
 	{"strings", "Builder"},
 	{"hash", "Hash"},
+}
+
+// errCheckExemptFuncs lists package-level functions whose error result is
+// ceremonial: stdout printers fail only when stdout itself is gone, at
+// which point no recovery is possible. fmt.Fprintf is NOT exempt — an
+// explicit writer argument signals the caller cares where bytes land.
+var errCheckExemptFuncs = [][2]string{
+	{"fmt", "Print"},
+	{"fmt", "Printf"},
+	{"fmt", "Println"},
 }
 
 func runErrCheckLite(pass *Pass) error {
@@ -82,8 +95,14 @@ func runErrCheckLite(pass *Pass) error {
 }
 
 // exemptErrCall reports whether the call's receiver is a can't-fail writer
-// (bytes.Buffer, strings.Builder, hash.Hash).
+// (bytes.Buffer, strings.Builder, hash.Hash) or the call is a ceremonial
+// stdout printer (fmt.Print/Printf/Println).
 func exemptErrCall(pass *Pass, call *ast.CallExpr) bool {
+	for _, ex := range errCheckExemptFuncs {
+		if _, ok := isPkgCall(pass.Info, call, ex[0], ex[1]); ok {
+			return true
+		}
+	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false

@@ -12,11 +12,13 @@ import (
 // send/receive/ring hot paths it flags fmt.Sprint* formatting, appends in
 // loops onto slices declared without capacity, and []byte→string
 // conversions (each allocates and copies). Cold paths are exempt: String/
-// Error methods, panic messages, and error construction.
+// Error methods, panic messages, and error construction — except
+// constant-message fmt.Errorf, which mints the identical error on every
+// call and should be a package-level sentinel instead.
 var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc: "flag fmt.Sprint*, un-preallocated append loops, and []byte→string " +
-		"conversions on the RPC data path",
+	Doc: "flag fmt.Sprint*, un-preallocated append loops, []byte→string " +
+		"conversions, and constant fmt.Errorf on the RPC data path",
 	Run: runHotPathAlloc,
 }
 
@@ -63,7 +65,22 @@ func checkHotFile(pass *Pass, f *ast.File) {
 		cold := coldRegions(pass, fd.Body)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || cold.contains(call.Pos()) {
+			if !ok {
+				return true
+			}
+			// A single constant argument means no formatting happens: the
+			// call builds the identical error on every invocation, paying
+			// an allocation a package-level sentinel (errors.New at init)
+			// would not. Checked even though error construction is
+			// otherwise cold — the fix is free. Wrapping with %w (two or
+			// more args) is dynamic and exempt.
+			if _, ok := isPkgCall(pass.Info, call, "fmt", "Errorf"); ok && len(call.Args) == 1 {
+				if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+					pass.Reportf(call.Pos(),
+						"constant fmt.Errorf allocates per call; hoist a package-level sentinel error")
+				}
+			}
+			if cold.contains(call.Pos()) {
 				return true
 			}
 			if name, ok := isPkgCall(pass.Info, call, "fmt", "Sprintf", "Sprint", "Sprintln"); ok {

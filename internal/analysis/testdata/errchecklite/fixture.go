@@ -2,7 +2,11 @@
 // loaded by the test harness as if it lived under dagger/internal/transport.
 package fixture
 
-import "bytes"
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
 
 type conn struct{}
 
@@ -37,4 +41,11 @@ func bufferOK(buf *bytes.Buffer, b []byte) {
 
 func suppressed(c *conn, b []byte) {
 	c.Send(b) //daggervet:ignore=errchecklite
+}
+
+func stdoutPrintersOK(n int) {
+	fmt.Println("progress:", n) // stdout printers are ceremonial
+	fmt.Printf("progress: %d\n", n)
+	fmt.Print(n)
+	fmt.Fprintf(os.Stdout, "n=%d\n", n) // want `Fprintf returns an error that is silently dropped`
 }

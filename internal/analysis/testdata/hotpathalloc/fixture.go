@@ -33,6 +33,34 @@ func coldError(b []byte) error {
 	return fmt.Errorf("trailing %q", string(b))
 }
 
+// ---- constant fmt.Errorf → package-level sentinel ----
+
+// errEmpty is the shape the analyzer pushes toward: one allocation at
+// init, comparable with errors.Is, free on the hot path.
+var errEmpty = errors.New("fixture: empty buffer")
+
+func constErrorf(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("fixture: empty buffer") // want `constant fmt\.Errorf allocates per call`
+	}
+	return nil
+}
+
+func sentinelOK(b []byte) error {
+	if len(b) == 0 {
+		return errEmpty
+	}
+	return nil
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("fixture: inner failed: %w", err) // dynamic wrapping is exempt
+}
+
+func dynamicMessageOK(msg string) error {
+	return fmt.Errorf(msg) // non-constant message cannot be a sentinel
+}
+
 func convert(b []byte) string {
 	return string(b) // want `\[\]byte→string conversion allocates`
 }

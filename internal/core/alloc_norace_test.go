@@ -2,7 +2,10 @@
 
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestSendRecvZeroAlloc is the tentpole acceptance check: once the pools are
 // warm, a synchronous in-process round trip (send, serve, receive, release)
@@ -22,5 +25,26 @@ func TestSendRecvZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("round trip allocates %.2f times/op; want 0", avg)
+	}
+}
+
+// TestCallContextZeroAlloc pins the ctx-first API to the same budget: an
+// explicit CallContext with context.Background() takes the identical pooled
+// path (Background's nil Done channel keeps the wait select allocation-free,
+// and a zero budget skips the server's deadline context).
+func TestCallContextZeroAlloc(t *testing.T) {
+	cli, _, shutdown := testPair(t, ServerConfig{})
+	defer shutdown()
+	warmAllocPath(t, cli, 200)
+	ctx := context.Background()
+	avg := testing.AllocsPerRun(500, func() {
+		resp, err := cli.CallContext(ctx, 0, allocReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Release(resp)
+	})
+	if avg != 0 {
+		t.Fatalf("ctx-first round trip allocates %.2f times/op; want 0", avg)
 	}
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -24,6 +25,13 @@ var (
 	ErrClientClose = errors.New("core: client closed")
 	ErrRemote      = errors.New("core: remote handler error")
 	ErrNoFn        = errors.New("core: no such remote function")
+	// ErrShed reports that the server dropped the request before invoking
+	// the handler because its deadline budget had already expired. The
+	// handler did not run, so shed requests are always safe to retry.
+	ErrShed = errors.New("core: request shed at server (budget expired)")
+	// errNoConn is a sentinel: the issue path is allocation-free, so it
+	// must not mint a fresh error per call.
+	errNoConn = errors.New("core: no open connection")
 )
 
 // DefaultTimeout bounds synchronous calls so a lost best-effort frame
@@ -89,6 +97,7 @@ type RpcClient struct {
 	Issued    atomic.Uint64
 	Completed atomic.Uint64
 	TimedOut  atomic.Uint64
+	Canceled  atomic.Uint64
 }
 
 // NewRpcClient binds a client to flow flowID of nic. Each flow should back
@@ -183,48 +192,87 @@ func (c *RpcClient) CloseConnection(id uint32) error {
 // response buffer is owned by the caller; pass it to Release when done to
 // keep the round trip allocation-free.
 func (c *RpcClient) Call(fnID uint16, req []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), fnID, req)
+}
+
+// CallContext issues a blocking RPC on the default connection under ctx. A
+// ctx deadline is stamped into the request header as the remaining budget in
+// microseconds, so every downstream tier can shed the request once it
+// expires; ctx cancellation or expiry abandons the call promptly (pooled
+// buffers are repaid by the receive path when a late response arrives).
+func (c *RpcClient) CallContext(ctx context.Context, fnID uint16, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	conn := c.defaultConn
 	ok := c.hasConn
 	c.mu.Unlock()
 	if !ok {
-		return nil, errNoConn()
+		return nil, errNoConn
 	}
-	return c.CallConn(conn, fnID, req)
+	return c.CallConnContext(ctx, conn, fnID, req)
 }
 
 // CallConn issues a blocking RPC on a specific connection.
 func (c *RpcClient) CallConn(connID uint32, fnID uint16, req []byte) ([]byte, error) {
-	cl, err := c.issue(connID, fnID, req, nil, true)
+	return c.CallConnContext(context.Background(), connID, fnID, req)
+}
+
+// CallConnContext issues a blocking RPC on a specific connection under ctx;
+// see CallContext for the deadline/cancellation contract.
+func (c *RpcClient) CallConnContext(ctx context.Context, connID uint32, fnID uint16, req []byte) ([]byte, error) {
+	budget, err := c.budgetFrom(ctx)
 	if err != nil {
 		return nil, err
 	}
+	cl, err := c.issue(connID, fnID, req, budget, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	var timerC <-chan time.Time
+	var t *time.Timer
 	if timeout := time.Duration(c.timeout.Load()); timeout > 0 {
-		t := acquireTimer(timeout)
-		select {
-		case <-cl.done:
-			releaseTimer(t)
-		case <-t.C:
-			releaseTimer(t)
-			if c.abandon(cl) {
-				c.release(cl)
-				c.TimedOut.Add(1)
-				return nil, ErrTimeout
+		t = acquireTimer(timeout)
+		timerC = t.C
+	}
+	select {
+	case <-cl.done:
+	case <-ctx.Done():
+		// Cancellation or deadline expiry: abandon the call. The receive
+		// path repays the pooled response buffer if a late response lands.
+		if c.abandon(cl) {
+			c.release(cl)
+			if t != nil {
+				releaseTimer(t)
 			}
-			// The response raced in between the timer firing and the
-			// abandon: the receive path owns the call and is about to
-			// signal it. Consume the completion instead of timing out.
-			<-cl.done
-		case <-c.stop:
+			err := ctx.Err()
+			if errors.Is(err, context.DeadlineExceeded) {
+				c.TimedOut.Add(1)
+			} else {
+				c.Canceled.Add(1)
+			}
+			return nil, err
+		}
+		// The response raced in: the receive path owns the call and is
+		// about to signal it. Consume the completion instead.
+		<-cl.done
+	case <-timerC:
+		if c.abandon(cl) {
+			c.release(cl)
 			releaseTimer(t)
-			return nil, ErrClientClose
+			c.TimedOut.Add(1)
+			return nil, ErrTimeout
 		}
-	} else {
-		select {
-		case <-cl.done:
-		case <-c.stop:
-			return nil, ErrClientClose
+		// The response raced in between the timer firing and the
+		// abandon: the receive path owns the call and is about to
+		// signal it. Consume the completion instead of timing out.
+		<-cl.done
+	case <-c.stop:
+		if t != nil {
+			releaseTimer(t)
 		}
+		return nil, ErrClientClose
+	}
+	if t != nil {
+		releaseTimer(t)
 	}
 	resp, rerr := cl.resp, cl.err
 	c.release(cl)
@@ -235,25 +283,74 @@ func (c *RpcClient) CallConn(connID uint32, fnID uint16, req []byte) ([]byte, er
 // the client's receive path when the response (or failure) arrives, after
 // being accumulated in the CompletionQueue.
 func (c *RpcClient) CallAsync(fnID uint16, req []byte, cb func([]byte, error)) error {
+	return c.CallAsyncContext(context.Background(), fnID, req, cb)
+}
+
+// CallAsyncContext is CallAsync with a context. The ctx is consulted at issue
+// time — an expired or canceled ctx fails fast, and a ctx deadline is stamped
+// into the header so downstream tiers shed the request once it expires — but
+// a cancellation after issue does not revoke the callback: the response (or
+// the client timeout/close) completes it.
+func (c *RpcClient) CallAsyncContext(ctx context.Context, fnID uint16, req []byte, cb func([]byte, error)) error {
 	c.mu.Lock()
 	conn := c.defaultConn
 	ok := c.hasConn
 	c.mu.Unlock()
 	if !ok {
-		return errNoConn()
+		return errNoConn
 	}
-	return c.CallConnAsync(conn, fnID, req, cb)
+	return c.CallConnAsyncContext(ctx, conn, fnID, req, cb)
 }
 
 // CallConnAsync issues a non-blocking RPC on a specific connection.
 func (c *RpcClient) CallConnAsync(connID uint32, fnID uint16, req []byte, cb func([]byte, error)) error {
-	_, err := c.issue(connID, fnID, req, cb, false)
+	return c.CallConnAsyncContext(context.Background(), connID, fnID, req, cb)
+}
+
+// CallConnAsyncContext is CallConnAsync with a context; see CallAsyncContext
+// for the contract.
+func (c *RpcClient) CallConnAsyncContext(ctx context.Context, connID uint32, fnID uint16, req []byte, cb func([]byte, error)) error {
+	budget, err := c.budgetFrom(ctx)
+	if err != nil {
+		return err
+	}
+	_, err = c.issue(connID, fnID, req, budget, cb, false)
 	return err
 }
 
-func errNoConn() error { return fmt.Errorf("core: no open connection") }
+// budgetFrom converts ctx's remaining deadline into the header's microsecond
+// budget (0 = no deadline), counting and failing fast when ctx is already
+// done. Sub-microsecond remainders round up to 1µs so a still-live deadline
+// never encodes as "no deadline"; budgets beyond MaxBudget saturate.
+func (c *RpcClient) budgetFrom(ctx context.Context) (uint32, error) {
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			c.TimedOut.Add(1)
+		} else {
+			c.Canceled.Add(1)
+		}
+		return 0, err
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0, nil
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		c.TimedOut.Add(1)
+		return 0, context.DeadlineExceeded
+	}
+	us := rem.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	if us > int64(wire.MaxBudget) {
+		return wire.MaxBudget, nil
+	}
+	return uint32(us), nil
+}
 
-func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, cb func([]byte, error), sync bool) (*call, error) {
+func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, budget uint32, cb func([]byte, error), sync bool) (*call, error) {
 	select {
 	case <-c.stop:
 		return nil, ErrClientClose
@@ -283,6 +380,7 @@ func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, cb func([]byte
 			FnID:    fnID,
 			SrcAddr: c.nic.Addr(),
 			DstAddr: dst,
+			Budget:  budget,
 		},
 		Payload: req,
 	}
@@ -362,10 +460,14 @@ func (c *RpcClient) recvLoop() {
 		}
 		var resp []byte
 		var rerr error
-		if m.Flags&flagError != 0 {
+		switch {
+		case m.Flags&flagShed != 0:
+			rerr = ErrShed
+			pool.Put(m.Payload)
+		case m.Flags&flagError != 0:
 			rerr = fmt.Errorf("%w: %s", ErrRemote, string(m.Payload))
 			pool.Put(m.Payload)
-		} else {
+		default:
 			resp = m.Payload
 		}
 		c.Completed.Add(1)
@@ -391,8 +493,14 @@ func (c *RpcClient) Close() {
 	c.recvWG.Wait()
 }
 
-// flagError marks a response carrying a handler error string.
-const flagError = 0x1
+// Response header flags.
+const (
+	// flagError marks a response carrying a handler error string.
+	flagError = 0x1
+	// flagShed marks a response for a request the server dropped before
+	// invoking the handler because its deadline budget had expired.
+	flagShed = 0x2
+)
 
 // reassemble feeds one delivered frame's cache lines through the software
 // reassembler, returning the completed message if the frame's last line

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -27,12 +28,12 @@ func testPair(t testing.TB, cfg ServerConfig) (*RpcClient, *RpcThreadedServer, f
 		t.Fatal(err)
 	}
 	srv := NewRpcThreadedServer(snic, cfg)
-	if err := srv.Register(0, "echo", func(req []byte) ([]byte, error) {
+	if err := srv.Register(0, "echo", func(_ context.Context, req []byte) ([]byte, error) {
 		return req, nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Register(1, "fail", func(req []byte) ([]byte, error) {
+	if err := srv.Register(1, "fail", func(_ context.Context, req []byte) ([]byte, error) {
 		return nil, errors.New("boom")
 	}); err != nil {
 		t.Fatal(err)
@@ -163,7 +164,7 @@ func TestThreadingModelConcurrency(t *testing.T) {
 		cnic, _ := f.CreateNIC(1, 4, 256)
 		snic, _ := f.CreateNIC(2, 1, 256) // single dispatch thread
 		srv := NewRpcThreadedServer(snic, cfg)
-		_ = srv.Register(0, "slow", func(req []byte) ([]byte, error) {
+		_ = srv.Register(0, "slow", func(_ context.Context, req []byte) ([]byte, error) {
 			time.Sleep(20 * time.Millisecond)
 			return req, nil
 		})
@@ -206,7 +207,7 @@ func TestTimeout(t *testing.T) {
 	cnic, _ := f.CreateNIC(1, 1, 16)
 	snic, _ := f.CreateNIC(2, 1, 16)
 	srv := NewRpcThreadedServer(snic, ServerConfig{})
-	_ = srv.Register(0, "stall", func(req []byte) ([]byte, error) {
+	_ = srv.Register(0, "stall", func(_ context.Context, req []byte) ([]byte, error) {
 		time.Sleep(500 * time.Millisecond)
 		return req, nil
 	})
@@ -245,7 +246,7 @@ func TestMultipleConnectionsSRQ(t *testing.T) {
 	mk := func(addr uint32, tag string) *RpcThreadedServer {
 		snic, _ := f.CreateNIC(addr, 1, 256)
 		srv := NewRpcThreadedServer(snic, ServerConfig{})
-		_ = srv.Register(0, "tag", func(req []byte) ([]byte, error) {
+		_ = srv.Register(0, "tag", func(_ context.Context, req []byte) ([]byte, error) {
 			return []byte(tag + string(req)), nil
 		})
 		_ = srv.Start()
@@ -274,7 +275,7 @@ func TestPoolParallelClients(t *testing.T) {
 	cnic, _ := f.CreateNIC(1, 8, 1024)
 	snic, _ := f.CreateNIC(2, 8, 1024)
 	srv := NewRpcThreadedServer(snic, ServerConfig{})
-	_ = srv.Register(0, "echo", func(req []byte) ([]byte, error) { return req, nil })
+	_ = srv.Register(0, "echo", func(_ context.Context, req []byte) ([]byte, error) { return req, nil })
 	_ = srv.Start()
 	defer srv.Stop()
 	pool, err := NewRpcClientPool(cnic, 8)
@@ -327,10 +328,10 @@ func TestServerRegistrationRules(t *testing.T) {
 	f := fabric.NewFabric()
 	snic, _ := f.CreateNIC(2, 1, 16)
 	srv := NewRpcThreadedServer(snic, ServerConfig{})
-	if err := srv.Register(0, "a", func([]byte) ([]byte, error) { return nil, nil }); err != nil {
+	if err := srv.Register(0, "a", func(context.Context, []byte) ([]byte, error) { return nil, nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Register(0, "b", func([]byte) ([]byte, error) { return nil, nil }); err == nil {
+	if err := srv.Register(0, "b", func(context.Context, []byte) ([]byte, error) { return nil, nil }); err == nil {
 		t.Fatal("duplicate registration accepted")
 	}
 	if srv.FunctionName(0) != "a" {
@@ -338,7 +339,7 @@ func TestServerRegistrationRules(t *testing.T) {
 	}
 	_ = srv.Start()
 	defer srv.Stop()
-	if err := srv.Register(1, "late", func([]byte) ([]byte, error) { return nil, nil }); err == nil {
+	if err := srv.Register(1, "late", func(context.Context, []byte) ([]byte, error) { return nil, nil }); err == nil {
 		t.Fatal("registration after start accepted")
 	}
 	if err := srv.Start(); err == nil {
@@ -352,7 +353,7 @@ func TestClientCloseUnblocksCalls(t *testing.T) {
 	snic, _ := f.CreateNIC(2, 1, 16)
 	srv := NewRpcThreadedServer(snic, ServerConfig{})
 	release := make(chan struct{})
-	_ = srv.Register(0, "never", func(req []byte) ([]byte, error) {
+	_ = srv.Register(0, "never", func(_ context.Context, req []byte) ([]byte, error) {
 		<-release
 		return nil, nil
 	})
@@ -404,11 +405,11 @@ func TestServerTracing(t *testing.T) {
 	cnic, _ := f.CreateNIC(1, 1, 64)
 	snic, _ := f.CreateNIC(2, 1, 64)
 	srv := NewRpcThreadedServer(snic, ServerConfig{Threading: WorkerThreads, Workers: 2})
-	_ = srv.Register(0, "slowop", func(req []byte) ([]byte, error) {
+	_ = srv.Register(0, "slowop", func(_ context.Context, req []byte) ([]byte, error) {
 		time.Sleep(2 * time.Millisecond)
 		return req, nil
 	})
-	_ = srv.Register(1, "fastop", func(req []byte) ([]byte, error) { return req, nil })
+	_ = srv.Register(1, "fastop", func(_ context.Context, req []byte) ([]byte, error) { return req, nil })
 	tc := trace.NewCollector(0)
 	if err := srv.SetTracer(tc); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func Example() {
 	}
 
 	srv := core.NewRpcThreadedServer(serverNIC, core.ServerConfig{})
-	if err := srv.Register(0, "greeter.hello", func(req []byte) ([]byte, error) {
+	if err := srv.Register(0, "greeter.hello", func(_ context.Context, req []byte) ([]byte, error) {
 		return append([]byte("hello, "), req...), nil
 	}); err != nil {
 		log.Fatal(err)
@@ -55,7 +56,7 @@ func ExampleRpcClient_CallAsync() {
 	serverNIC, _ := fab.CreateNIC(2, 1, 0)
 	clientNIC, _ := fab.CreateNIC(1, 1, 0)
 	srv := core.NewRpcThreadedServer(serverNIC, core.ServerConfig{})
-	_ = srv.Register(0, "echo", func(req []byte) ([]byte, error) { return req, nil })
+	_ = srv.Register(0, "echo", func(_ context.Context, req []byte) ([]byte, error) { return req, nil })
 	_ = srv.Start()
 	defer srv.Stop()
 	cli, _ := core.NewRpcClient(clientNIC, 0)

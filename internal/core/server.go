@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -40,7 +41,12 @@ func (m ThreadingModel) String() string {
 // is sent, so a handler that wants to keep request bytes past its return
 // must copy them. The returned response is read (marshalled into a frame)
 // before the handler's thread proceeds, and is not retained.
-type Handler func(req []byte) ([]byte, error)
+//
+// ctx carries the request's remaining deadline budget (from the wire header's
+// Budget field) and is canceled when the server stops. Handlers that issue
+// downstream RPCs should pass ctx along so every tier inherits a strictly
+// shrunken deadline and doomed work is shed as early as possible.
+type Handler func(ctx context.Context, req []byte) ([]byte, error)
 
 // ServerConfig configures an RpcThreadedServer.
 type ServerConfig struct {
@@ -80,14 +86,23 @@ type RpcThreadedServer struct {
 	tracer  *trace.Collector
 	start   time.Time
 
+	// baseCtx is the parent of every handler context; Stop cancels it so
+	// in-flight handlers blocked on downstream work unwind promptly.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	Handled atomic.Uint64
 	Errors  atomic.Uint64
+	// Shed counts requests dropped before handler invocation because their
+	// deadline budget had already expired on arrival or in queue.
+	Shed atomic.Uint64
 }
 
 type workItem struct {
 	t        *RpcServerThread
 	m        wire.Message
 	received time.Time
+	deadline time.Time // zero when the request carries no budget
 }
 
 // NewRpcThreadedServer creates a server over all flows of nic.
@@ -105,6 +120,7 @@ func NewRpcThreadedServer(nic *fabric.SoftNIC, cfg ServerConfig) *RpcThreadedSer
 		names:    make(map[uint16]string),
 		stop:     make(chan struct{}),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < nic.NumFlows(); i++ {
 		fl, _ := nic.Flow(i)
 		s.threads = append(s.threads, &RpcServerThread{srv: s, flowID: uint16(i), flow: fl})
@@ -176,12 +192,14 @@ func (s *RpcThreadedServer) Start() error {
 	return nil
 }
 
-// Stop shuts down all threads and waits for them.
+// Stop shuts down all threads and waits for them. The base handler context
+// is canceled first so handlers blocked on downstream calls unwind.
 func (s *RpcThreadedServer) Stop() {
 	select {
 	case <-s.stop:
 		return
 	default:
+		s.baseCancel()
 		close(s.stop)
 	}
 	s.wg.Wait()
@@ -205,15 +223,20 @@ func (s *RpcThreadedServer) dispatchLoop(t *RpcServerThread) {
 			pool.Put(m.Payload)
 			continue
 		}
+		received := time.Now()
+		var deadline time.Time
+		if m.Budget > 0 {
+			deadline = received.Add(time.Duration(m.Budget) * time.Microsecond)
+		}
 		if s.cfg.Threading == WorkerThreads {
 			select {
-			case s.work <- workItem{t: t, m: m, received: time.Now()}:
+			case s.work <- workItem{t: t, m: m, received: received, deadline: deadline}:
 			case <-s.stop:
 				return
 			}
 			continue
 		}
-		s.process(t, m, time.Now())
+		s.process(t, m, received, deadline)
 	}
 }
 
@@ -222,14 +245,14 @@ func (s *RpcThreadedServer) workerLoop() {
 	for {
 		select {
 		case item := <-s.work:
-			s.process(item.t, item.m, item.received)
+			s.process(item.t, item.m, item.received, item.deadline)
 		case <-s.stop:
 			return
 		}
 	}
 }
 
-func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received time.Time) {
+func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received, deadline time.Time) {
 	s.mu.RLock()
 	h, ok := s.handlers[m.FnID]
 	name := s.names[m.FnID]
@@ -248,16 +271,37 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 			DstAddr: m.SrcAddr,
 		},
 	}
-	if !ok {
+	switch {
+	case !ok:
 		resp.Flags = flagError
 		resp.Payload = []byte(ErrNoFn.Error())
 		s.Errors.Add(1)
-	} else if out, err := h(m.Payload); err != nil {
-		resp.Flags = flagError
-		resp.Payload = []byte(err.Error())
-		s.Errors.Add(1)
-	} else {
-		resp.Payload = out
+	case !deadline.IsZero() && !execStart.Before(deadline):
+		// The budget expired on arrival or while queued: shed without
+		// invoking the handler — the caller already gave up, so any work
+		// here would be doomed (the tail-amplification the budget exists
+		// to prevent).
+		resp.Flags = flagShed
+		s.Shed.Add(1)
+		_ = s.nic.Send(&resp)
+		t.flow.Buffers().Put(m.Payload)
+		return
+	default:
+		ctx := s.baseCtx
+		if !deadline.IsZero() {
+			// Hand the handler the remaining budget so downstream calls
+			// inherit a strictly shrunken deadline.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(s.baseCtx, deadline)
+			defer cancel()
+		}
+		if out, err := h(ctx, m.Payload); err != nil {
+			resp.Flags = flagError
+			resp.Payload = []byte(err.Error())
+			s.Errors.Add(1)
+		} else {
+			resp.Payload = out
+		}
 	}
 	t.Processed.Add(1)
 	s.Handled.Add(1)

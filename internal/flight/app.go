@@ -11,6 +11,7 @@
 package flight
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -226,7 +227,7 @@ func New(cfg Config) (*App, error) {
 		return nil, err
 	}
 	fsrv := core.NewRpcThreadedServer(flightNIC, a.tierCfg(cfg, "Flight"))
-	if err := fsrv.Register(FnFlightInfo, "Flight.info", func(req []byte) ([]byte, error) {
+	if err := fsrv.Register(FnFlightInfo, "Flight.info", func(_ context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		flightNo := d.Uint32()
 		if err := d.Err(); err != nil {
@@ -252,7 +253,7 @@ func New(cfg Config) (*App, error) {
 		return nil, err
 	}
 	bsrv := core.NewRpcThreadedServer(baggageNIC, a.tierCfg(cfg, "Baggage"))
-	if err := bsrv.Register(FnCheckBags, "Baggage.check", func(req []byte) ([]byte, error) {
+	if err := bsrv.Register(FnCheckBags, "Baggage.check", func(_ context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		_ = d.Uint64() // passenger
 		bags := d.Uint32()
@@ -281,7 +282,7 @@ func New(cfg Config) (*App, error) {
 	}
 	psrv := core.NewRpcThreadedServer(passportNIC, a.tierCfg(cfg, "Passport"))
 	var passportRR counter
-	if err := psrv.Register(FnVerifyPassport, "Passport.verify", func(req []byte) ([]byte, error) {
+	if err := psrv.Register(FnVerifyPassport, "Passport.verify", func(ctx context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		pid := d.Uint64()
 		if err := d.Err(); err != nil {
@@ -289,7 +290,7 @@ func New(cfg Config) (*App, error) {
 		}
 		idx := passportRR.next(passportClients.Size())
 		mc := mica.NewClientConn(passportClients.Client(idx), passportConns[AddrCitizensDB][idx])
-		_, err := mc.Get(citizenKey(pid))
+		_, err := mc.GetContext(ctx, citizenKey(pid))
 		e := wire.NewEncoder(nil)
 		e.Bool(err == nil)
 		return e.Bytes(), nil
@@ -313,13 +314,13 @@ func New(cfg Config) (*App, error) {
 	}
 	csrv := core.NewRpcThreadedServer(checkinNIC, a.tierCfg(cfg, "CheckIn"))
 	var checkinRR counter
-	if err := csrv.Register(FnRegister, "CheckIn.register", func(req []byte) ([]byte, error) {
+	if err := csrv.Register(FnRegister, "CheckIn.register", func(ctx context.Context, req []byte) ([]byte, error) {
 		p, err := decodePassenger(req)
 		if err != nil {
 			return nil, err
 		}
 		idx := checkinRR.next(checkinClients.Size())
-		return a.checkIn(checkinClients.Client(idx), checkinConns, idx, p)
+		return a.checkIn(ctx, checkinClients.Client(idx), checkinConns, idx, p)
 	}); err != nil {
 		return nil, err
 	}
@@ -355,7 +356,7 @@ func New(cfg Config) (*App, error) {
 // checkIn runs the orchestration: parallel fan-out, join, then a blocking
 // Airport write. conns routes each nested call to the right downstream
 // connection on the shared client ring.
-func (a *App) checkIn(cli *core.RpcClient, conns map[uint32][]uint32, idx int, p Passenger) ([]byte, error) {
+func (a *App) checkIn(ctx context.Context, cli *core.RpcClient, conns map[uint32][]uint32, idx int, p Passenger) ([]byte, error) {
 	type result struct {
 		gate   uint32
 		bagsOK bool
@@ -377,7 +378,7 @@ func (a *App) checkIn(cli *core.RpcClient, conns map[uint32][]uint32, idx int, p
 	wg.Add(1)
 	ef := wire.NewEncoder(nil)
 	ef.Uint32(p.FlightNo)
-	if err := cli.CallConnAsync(conns[AddrFlight][idx], FnFlightInfo, ef.Bytes(), func(out []byte, err error) {
+	if err := cli.CallConnAsyncContext(ctx, conns[AddrFlight][idx], FnFlightInfo, ef.Bytes(), func(out []byte, err error) {
 		defer wg.Done()
 		if err != nil {
 			fail(err)
@@ -397,7 +398,7 @@ func (a *App) checkIn(cli *core.RpcClient, conns map[uint32][]uint32, idx int, p
 	eb := wire.NewEncoder(nil)
 	eb.Uint64(p.ID)
 	eb.Uint32(p.Bags)
-	if err := cli.CallConnAsync(conns[AddrBaggage][idx], FnCheckBags, eb.Bytes(), func(out []byte, err error) {
+	if err := cli.CallConnAsyncContext(ctx, conns[AddrBaggage][idx], FnCheckBags, eb.Bytes(), func(out []byte, err error) {
 		defer wg.Done()
 		if err != nil {
 			fail(err)
@@ -416,7 +417,7 @@ func (a *App) checkIn(cli *core.RpcClient, conns map[uint32][]uint32, idx int, p
 	wg.Add(1)
 	ep := wire.NewEncoder(nil)
 	ep.Uint64(p.ID)
-	if err := cli.CallConnAsync(conns[AddrPassport][idx], FnVerifyPassport, ep.Bytes(), func(out []byte, err error) {
+	if err := cli.CallConnAsyncContext(ctx, conns[AddrPassport][idx], FnVerifyPassport, ep.Bytes(), func(out []byte, err error) {
 		defer wg.Done()
 		if err != nil {
 			fail(err)
@@ -444,7 +445,7 @@ func (a *App) checkIn(cli *core.RpcClient, conns map[uint32][]uint32, idx int, p
 	}
 	// Blocking write to the Airport DB.
 	mc := mica.NewClientConn(cli, conns[AddrAirportDB][idx])
-	if err := mc.Set(recordKey(p.ID), rec.encode()); err != nil {
+	if err := mc.SetContext(ctx, recordKey(p.ID), rec.encode()); err != nil {
 		return nil, err
 	}
 	return rec.encode(), nil
@@ -454,8 +455,15 @@ func (a *App) checkIn(cli *core.RpcClient, conns map[uint32][]uint32, idx int, p
 // Passenger front-end (blocking, for tests and examples; the load
 // generator uses the async path).
 func (a *App) RegisterPassenger(p Passenger) (Record, error) {
+	return a.RegisterPassengerContext(context.Background(), p)
+}
+
+// RegisterPassengerContext is RegisterPassenger under ctx: the deadline
+// budget rides the wire into Check-in and cascades through the fan-out tiers
+// and both databases.
+func (a *App) RegisterPassengerContext(ctx context.Context, p Passenger) (Record, error) {
 	cli := a.passengerPool.Client(0)
-	out, err := cli.Call(FnRegister, p.encode())
+	out, err := cli.CallContext(ctx, FnRegister, p.encode())
 	if err != nil {
 		return Record{}, err
 	}

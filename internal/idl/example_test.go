@@ -25,7 +25,7 @@ Service Health {
 	fmt.Printf("messages=%d services=%d\n", len(file.Messages), len(file.Services))
 
 	src := idl.Generate(file, "healthpb")
-	fmt.Println(strings.Contains(src, "func (s *HealthClient) Ping(req *PingRequest) (*PingResponse, error)"))
+	fmt.Println(strings.Contains(src, "func (s *HealthClient) Ping(ctx context.Context, req *PingRequest) (*PingResponse, error)"))
 	fmt.Println(strings.Contains(src, "type HealthServer interface"))
 	// Output:
 	// messages=2 services=1

@@ -1,6 +1,7 @@
 package memcached
 
 import (
+	"context"
 	"errors"
 
 	"dagger/internal/core"
@@ -26,7 +27,7 @@ const (
 // and starts it.
 func Serve(nic *fabric.SoftNIC, store *Store, cfg core.ServerConfig) (*core.RpcThreadedServer, error) {
 	srv := core.NewRpcThreadedServer(nic, cfg)
-	if err := srv.Register(FnGet, "memcached.get", func(req []byte) ([]byte, error) {
+	if err := srv.Register(FnGet, "memcached.get", func(_ context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		key := string(d.Bytes16())
 		if err := d.Err(); err != nil {
@@ -46,7 +47,7 @@ func Serve(nic *fabric.SoftNIC, store *Store, cfg core.ServerConfig) (*core.RpcT
 	}); err != nil {
 		return nil, err
 	}
-	if err := srv.Register(FnSet, "memcached.set", func(req []byte) ([]byte, error) {
+	if err := srv.Register(FnSet, "memcached.set", func(_ context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		key := string(d.Bytes16())
 		flags := d.Uint32()
@@ -61,7 +62,7 @@ func Serve(nic *fabric.SoftNIC, store *Store, cfg core.ServerConfig) (*core.RpcT
 	}); err != nil {
 		return nil, err
 	}
-	if err := srv.Register(FnDelete, "memcached.delete", func(req []byte) ([]byte, error) {
+	if err := srv.Register(FnDelete, "memcached.delete", func(_ context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		key := string(d.Bytes16())
 		if err := d.Err(); err != nil {
@@ -73,7 +74,7 @@ func Serve(nic *fabric.SoftNIC, store *Store, cfg core.ServerConfig) (*core.RpcT
 	}); err != nil {
 		return nil, err
 	}
-	if err := srv.Register(FnCAS, "memcached.cas", func(req []byte) ([]byte, error) {
+	if err := srv.Register(FnCAS, "memcached.cas", func(_ context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		key := string(d.Bytes16())
 		flags := d.Uint32()
@@ -125,18 +126,23 @@ func NewClientConn(c *core.RpcClient, connID uint32) *Client {
 	return &Client{c: c, conn: connID}
 }
 
-func (mc *Client) call(fnID uint16, req []byte) ([]byte, error) {
+func (mc *Client) call(ctx context.Context, fnID uint16, req []byte) ([]byte, error) {
 	if mc.conn != 0 {
-		return mc.c.CallConn(mc.conn, fnID, req)
+		return mc.c.CallConnContext(ctx, mc.conn, fnID, req)
 	}
-	return mc.c.Call(fnID, req)
+	return mc.c.CallContext(ctx, fnID, req)
 }
 
 // Get fetches key; a NOT_FOUND reply maps back to ErrNotFound.
 func (mc *Client) Get(key string) (Item, error) {
+	return mc.GetContext(context.Background(), key)
+}
+
+// GetContext is Get under ctx's deadline/cancellation.
+func (mc *Client) GetContext(ctx context.Context, key string) (Item, error) {
 	e := wire.NewEncoder(nil)
 	e.Bytes16([]byte(key))
-	out, err := mc.call(FnGet, e.Bytes())
+	out, err := mc.call(ctx, FnGet, e.Bytes())
 	if err != nil {
 		return Item{}, err
 	}
@@ -151,11 +157,16 @@ func (mc *Client) Get(key string) (Item, error) {
 
 // Set stores key=value and returns the CAS token.
 func (mc *Client) Set(key string, value []byte, flags uint32) (uint64, error) {
+	return mc.SetContext(context.Background(), key, value, flags)
+}
+
+// SetContext is Set under ctx's deadline/cancellation.
+func (mc *Client) SetContext(ctx context.Context, key string, value []byte, flags uint32) (uint64, error) {
 	e := wire.NewEncoder(nil)
 	e.Bytes16([]byte(key))
 	e.Uint32(flags)
 	e.Bytes16(value)
-	out, err := mc.call(FnSet, e.Bytes())
+	out, err := mc.call(ctx, FnSet, e.Bytes())
 	if err != nil {
 		return 0, err
 	}
@@ -166,9 +177,14 @@ func (mc *Client) Set(key string, value []byte, flags uint32) (uint64, error) {
 
 // Delete removes key; it reports whether the key existed.
 func (mc *Client) Delete(key string) (bool, error) {
+	return mc.DeleteContext(context.Background(), key)
+}
+
+// DeleteContext is Delete under ctx's deadline/cancellation.
+func (mc *Client) DeleteContext(ctx context.Context, key string) (bool, error) {
 	e := wire.NewEncoder(nil)
 	e.Bytes16([]byte(key))
-	out, err := mc.call(FnDelete, e.Bytes())
+	out, err := mc.call(ctx, FnDelete, e.Bytes())
 	if err != nil {
 		return false, err
 	}
@@ -185,7 +201,7 @@ func (mc *Client) CompareAndSwap(key string, value []byte, flags uint32, cas uin
 	e.Uint32(flags)
 	e.Uint64(cas)
 	e.Bytes16(value)
-	out, err := mc.call(FnCAS, e.Bytes())
+	out, err := mc.call(context.Background(), FnCAS, e.Bytes())
 	if err != nil {
 		return 0, err
 	}

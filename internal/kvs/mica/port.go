@@ -1,6 +1,8 @@
 package mica
 
 import (
+	"context"
+
 	"dagger/internal/core"
 	"dagger/internal/fabric"
 	"dagger/internal/wire"
@@ -36,7 +38,7 @@ func Serve(nic *fabric.SoftNIC, store *Store, cfg core.ServerConfig) (*core.RpcT
 	}
 	srv := core.NewRpcThreadedServer(nic, cfg)
 	n := store.NumPartitions()
-	if err := srv.Register(FnGet, "mica.get", func(req []byte) ([]byte, error) {
+	if err := srv.Register(FnGet, "mica.get", func(_ context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		key := d.Bytes16()
 		if err := d.Err(); err != nil {
@@ -54,7 +56,7 @@ func Serve(nic *fabric.SoftNIC, store *Store, cfg core.ServerConfig) (*core.RpcT
 	}); err != nil {
 		return nil, err
 	}
-	if err := srv.Register(FnSet, "mica.set", func(req []byte) ([]byte, error) {
+	if err := srv.Register(FnSet, "mica.set", func(_ context.Context, req []byte) ([]byte, error) {
 		d := wire.NewDecoder(req)
 		key := d.Bytes16()
 		val := d.Bytes16()
@@ -89,18 +91,23 @@ func NewClientConn(c *core.RpcClient, connID uint32) *Client {
 	return &Client{c: c, conn: connID}
 }
 
-func (mc *Client) call(fnID uint16, req []byte) ([]byte, error) {
+func (mc *Client) call(ctx context.Context, fnID uint16, req []byte) ([]byte, error) {
 	if mc.conn != 0 {
-		return mc.c.CallConn(mc.conn, fnID, req)
+		return mc.c.CallConnContext(ctx, mc.conn, fnID, req)
 	}
-	return mc.c.Call(fnID, req)
+	return mc.c.CallContext(ctx, fnID, req)
 }
 
 // Get fetches a key.
 func (mc *Client) Get(key []byte) ([]byte, error) {
+	return mc.GetContext(context.Background(), key)
+}
+
+// GetContext fetches a key under ctx's deadline/cancellation.
+func (mc *Client) GetContext(ctx context.Context, key []byte) ([]byte, error) {
 	e := wire.NewEncoder(nil)
 	e.Bytes16(key)
-	out, err := mc.call(FnGet, e.Bytes())
+	out, err := mc.call(ctx, FnGet, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -114,10 +121,15 @@ func (mc *Client) Get(key []byte) ([]byte, error) {
 
 // Set stores a key.
 func (mc *Client) Set(key, value []byte) error {
+	return mc.SetContext(context.Background(), key, value)
+}
+
+// SetContext stores a key under ctx's deadline/cancellation.
+func (mc *Client) SetContext(ctx context.Context, key, value []byte) error {
 	e := wire.NewEncoder(nil)
 	e.Bytes16(key)
 	e.Bytes16(value)
-	out, err := mc.call(FnSet, e.Bytes())
+	out, err := mc.call(ctx, FnSet, e.Bytes())
 	if err != nil {
 		return err
 	}

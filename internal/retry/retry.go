@@ -1,0 +1,104 @@
+// Package retry implements the small, deterministic retry policy used by RPC
+// clients and the reliable transport: capped exponential backoff with seeded
+// jitter, aware of the caller's remaining deadline budget.
+//
+// Determinism matters here: the simulation and test harnesses replay traffic
+// and expect identical schedules, so jitter comes from a splitmix64 stream
+// seeded by the policy (never math/rand, per daggervet's simdeterminism rule).
+package retry
+
+import (
+	"errors"
+	"time"
+)
+
+// Policy describes a backoff schedule. The zero value is not useful; start
+// from Default and override fields.
+type Policy struct {
+	// MaxAttempts bounds the total number of tries (first call included).
+	MaxAttempts int
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the exponentially growing delay.
+	Max time.Duration
+	// Multiplier scales the delay between attempts (typically 2).
+	Multiplier float64
+	// Jitter is the fraction of the computed delay randomized away, in
+	// [0, 1]. 0.2 means the delay is drawn from [0.8d, d].
+	Jitter float64
+	// Seed feeds the deterministic jitter stream. Two policies with equal
+	// fields produce identical schedules.
+	Seed uint64
+}
+
+// Default is a conservative schedule: 3 attempts, 1ms base doubling to a 50ms
+// cap, 20% jitter.
+var Default = Policy{
+	MaxAttempts: 3,
+	Base:        time.Millisecond,
+	Max:         50 * time.Millisecond,
+	Multiplier:  2,
+	Jitter:      0.2,
+	Seed:        0x9E3779B97F4A7C15,
+}
+
+// ErrBudgetExhausted reports that the remaining deadline budget cannot absorb
+// the next backoff delay, so retrying would only produce doomed work.
+var ErrBudgetExhausted = errors.New("retry: deadline budget exhausted")
+
+// Backoff returns the delay before retry attempt `attempt` (1-based: attempt
+// 1 is the first retry). The schedule is exponential from Base with the
+// policy's cap and deterministic jitter; attempts < 1 return 0.
+func (p Policy) Backoff(attempt int) time.Duration {
+	if attempt < 1 || p.Base <= 0 {
+		return 0
+	}
+	d := float64(p.Base)
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if p.Max > 0 && d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		// Deterministic draw in [1-Jitter, 1] from a splitmix64 stream
+		// keyed by (Seed, attempt).
+		u := splitmix64(p.Seed + uint64(attempt))
+		frac := float64(u>>11) / (1 << 53) // [0, 1)
+		d *= 1 - p.Jitter*frac
+	}
+	return time.Duration(d)
+}
+
+// NextDelay returns the backoff before retry `attempt` and whether the
+// caller's remaining budget can absorb that delay (with headroom for the call
+// itself). remaining <= 0 means no deadline: always ok.
+func (p Policy) NextDelay(attempt int, remaining time.Duration) (time.Duration, bool) {
+	d := p.Backoff(attempt)
+	if remaining <= 0 {
+		return d, true
+	}
+	// Require the budget to cover the delay plus at least one base-delay's
+	// worth of actual work; otherwise the retry is doomed on arrival.
+	if remaining <= d+p.Base {
+		return d, false
+	}
+	return d, true
+}
+
+// splitmix64 advances the splitmix64 generator one step from x.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

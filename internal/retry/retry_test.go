@@ -1,0 +1,82 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffMonotoneAndCapped(t *testing.T) {
+	p := Policy{MaxAttempts: 8, Base: time.Millisecond, Max: 8 * time.Millisecond, Multiplier: 2}
+	prev := time.Duration(0)
+	for a := 1; a <= 8; a++ {
+		d := p.Backoff(a)
+		if d < prev {
+			t.Fatalf("attempt %d: backoff %v < previous %v (no jitter set)", a, d, prev)
+		}
+		if d > p.Max {
+			t.Fatalf("attempt %d: backoff %v exceeds cap %v", a, d, p.Max)
+		}
+		prev = d
+	}
+	if got := p.Backoff(1); got != time.Millisecond {
+		t.Fatalf("first retry delay = %v, want Base", got)
+	}
+	if got := p.Backoff(8); got != 8*time.Millisecond {
+		t.Fatalf("late retry delay = %v, want cap", got)
+	}
+	if p.Backoff(0) != 0 || p.Backoff(-3) != 0 {
+		t.Fatal("non-positive attempts must not delay")
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	p := Default
+	q := Default
+	for a := 1; a <= 5; a++ {
+		if p.Backoff(a) != q.Backoff(a) {
+			t.Fatalf("attempt %d: equal policies disagree", a)
+		}
+	}
+	// Jitter shrinks the delay by at most the jitter fraction.
+	noJitter := p
+	noJitter.Jitter = 0
+	for a := 1; a <= 5; a++ {
+		d, full := p.Backoff(a), noJitter.Backoff(a)
+		if d > full {
+			t.Fatalf("attempt %d: jittered %v > unjittered %v", a, d, full)
+		}
+		if min := time.Duration(float64(full) * (1 - p.Jitter)); d < min {
+			t.Fatalf("attempt %d: jittered %v below floor %v", a, d, min)
+		}
+	}
+	// Different seeds give different schedules (with overwhelming odds).
+	other := p
+	other.Seed++
+	same := true
+	for a := 1; a <= 5; a++ {
+		if p.Backoff(a) != other.Backoff(a) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+}
+
+func TestNextDelayBudgetAware(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Base: time.Millisecond, Max: 10 * time.Millisecond, Multiplier: 2}
+	if _, ok := p.NextDelay(1, 0); !ok {
+		t.Fatal("no deadline must always allow a retry")
+	}
+	if _, ok := p.NextDelay(1, time.Second); !ok {
+		t.Fatal("ample budget refused")
+	}
+	if _, ok := p.NextDelay(1, 500*time.Microsecond); ok {
+		t.Fatal("retry allowed with budget smaller than the delay")
+	}
+	// Budget covers the delay but leaves no room for the call itself.
+	d := p.Backoff(2)
+	if _, ok := p.NextDelay(2, d+p.Base/2); ok {
+		t.Fatal("retry allowed with no headroom for the call")
+	}
+}

@@ -1,5 +1,7 @@
 package ringbuf
 
+import "sync/atomic"
+
 // BufPool is a size-classed free list of byte buffers, the software stand-in
 // for the paper's free-buffer FIFOs (§4.4): the data path recycles frame and
 // payload buffers through it instead of allocating per message.
@@ -18,6 +20,19 @@ type BufPool struct {
 	parent  *BufPool
 	classes []int // ascending buffer capacities
 	rings   []*Ring[[]byte]
+
+	// Loan accounting: buffers handed out by Get and relinquished via Put
+	// (whether recycled, spilled, or dropped). At quiescence gets == puts,
+	// which is how tests check that no code path leaks a pooled buffer.
+	gets atomic.Uint64
+	puts atomic.Uint64
+}
+
+// Loans returns the number of buffers handed out by Get and relinquished via
+// Put. A steady-state imbalance (gets > puts after all traffic drains) means
+// some consumer kept a pooled buffer without repaying it.
+func (p *BufPool) Loans() (gets, puts uint64) {
+	return p.gets.Load(), p.puts.Load()
 }
 
 // NewBufPool creates a pool with the given per-class ring capacity and
@@ -46,6 +61,7 @@ func (p *BufPool) Get(n int) []byte {
 	if n <= 0 {
 		return nil
 	}
+	p.gets.Add(1)
 	for i, c := range p.classes {
 		if n > c {
 			continue
@@ -78,6 +94,15 @@ func (p *BufPool) get(ci, n int) []byte {
 // dropped; a full local ring spills to the parent pool; a full parent drops
 // the buffer for the garbage collector.
 func (p *BufPool) Put(b []byte) {
+	if cap(b) > 0 {
+		p.puts.Add(1)
+	}
+	p.put(b)
+}
+
+// put files b without touching the loan counters, so a spill to the parent
+// pool is not double-counted as a second repayment.
+func (p *BufPool) put(b []byte) {
 	c := cap(b)
 	if c < p.classes[0] {
 		return
@@ -90,7 +115,7 @@ func (p *BufPool) Put(b []byte) {
 			return
 		}
 		if p.parent != nil {
-			p.parent.Put(b)
+			p.parent.put(b)
 		}
 		return
 	}

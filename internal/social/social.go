@@ -13,6 +13,7 @@
 package social
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -283,7 +284,7 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnUniqueID: {"UniqueID.next", func(req []byte) ([]byte, error) {
+		FnUniqueID: {"UniqueID.next", func(_ context.Context, req []byte) ([]byte, error) {
 			e := wire.NewEncoder(nil)
 			e.Uint64(a.nextPostID.Add(1))
 			return e.Bytes(), nil
@@ -301,7 +302,7 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnExtractMentions: {"UserMention.extract", func(req []byte) ([]byte, error) {
+		FnExtractMentions: {"UserMention.extract", func(_ context.Context, req []byte) ([]byte, error) {
 			d := wire.NewDecoder(req)
 			text := d.String16()
 			if err := d.Err(); err != nil {
@@ -333,7 +334,7 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnShortenURL: {"UrlShorten.shorten", func(req []byte) ([]byte, error) {
+		FnShortenURL: {"UrlShorten.shorten", func(_ context.Context, req []byte) ([]byte, error) {
 			d := wire.NewDecoder(req)
 			url := d.String16()
 			if err := d.Err(); err != nil {
@@ -364,7 +365,7 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnProcessText: {"Text.process", func(req []byte) ([]byte, error) {
+		FnProcessText: {"Text.process", func(ctx context.Context, req []byte) ([]byte, error) {
 			d := wire.NewDecoder(req)
 			text := d.String16()
 			if err := d.Err(); err != nil {
@@ -375,7 +376,7 @@ func New(cfg Config) (*App, error) {
 			cli, conn := textClients.pick(AddrUserMention)
 			e := wire.NewEncoder(nil)
 			e.String16(text)
-			out, err := cli.CallConn(conn, FnExtractMentions, e.Bytes())
+			out, err := cli.CallConnContext(ctx, conn, FnExtractMentions, e.Bytes())
 			if err != nil {
 				return nil, fmt.Errorf("usermention: %w", err)
 			}
@@ -390,7 +391,7 @@ func New(cfg Config) (*App, error) {
 					cli, conn := textClients.pick(AddrUrlShorten)
 					ue := wire.NewEncoder(nil)
 					ue.String16(w)
-					out, err := cli.CallConn(conn, FnShortenURL, ue.Bytes())
+					out, err := cli.CallConnContext(ctx, conn, FnShortenURL, ue.Bytes())
 					if err != nil {
 						return nil, fmt.Errorf("urlshorten: %w", err)
 					}
@@ -422,7 +423,7 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnProcessMedia: {"Media.process", func(req []byte) ([]byte, error) {
+		FnProcessMedia: {"Media.process", func(_ context.Context, req []byte) ([]byte, error) {
 			d := wire.NewDecoder(req)
 			n := d.Uint32()
 			ids := make([]uint64, 0, n)
@@ -456,7 +457,7 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnGetUser: {"User.get", func(req []byte) ([]byte, error) {
+		FnGetUser: {"User.get", func(ctx context.Context, req []byte) ([]byte, error) {
 			d := wire.NewDecoder(req)
 			name := d.String16()
 			if err := d.Err(); err != nil {
@@ -464,7 +465,7 @@ func New(cfg Config) (*App, error) {
 			}
 			cli, conn := userClients.pick(AddrUserStorage)
 			mc := memcachedClientConn(cli, conn)
-			_, err := mc.Get("acct:" + name)
+			_, err := mc.GetContext(ctx, "acct:"+name)
 			e := wire.NewEncoder(nil)
 			e.Bool(err == nil)
 			return e.Bytes(), nil
@@ -486,7 +487,7 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnGetPosts: {"Timeline.read", func(req []byte) ([]byte, error) {
+		FnGetPosts: {"Timeline.read", func(ctx context.Context, req []byte) ([]byte, error) {
 			d := wire.NewDecoder(req)
 			author := d.String16()
 			limit := int(d.Uint32())
@@ -504,7 +505,7 @@ func New(cfg Config) (*App, error) {
 			for _, id := range ids {
 				cli, conn := tlClients.pick(AddrPostStorage)
 				mc := mica.NewClientConn(cli, conn)
-				if raw, err := mc.Get(postKey(id)); err == nil {
+				if raw, err := mc.GetContext(ctx, postKey(id)); err == nil {
 					blobs = append(blobs, raw)
 				}
 			}
@@ -532,12 +533,12 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnComposePost: {"ComposePost.compose", func(req []byte) ([]byte, error) {
+		FnComposePost: {"ComposePost.compose", func(ctx context.Context, req []byte) ([]byte, error) {
 			cr, err := decodeComposeRequest(req)
 			if err != nil {
 				return nil, err
 			}
-			return a.composePost(cpClients, cr)
+			return a.composePost(ctx, cpClients, cr)
 		}},
 	}); err != nil {
 		return nil, err
@@ -556,13 +557,13 @@ func New(cfg Config) (*App, error) {
 		name string
 		h    core.Handler
 	}{
-		FnComposePost: {"nginx.compose", func(req []byte) ([]byte, error) {
+		FnComposePost: {"nginx.compose", func(ctx context.Context, req []byte) ([]byte, error) {
 			cli, conn := feClients.pick(AddrComposePost)
-			return cli.CallConn(conn, FnComposePost, req)
+			return cli.CallConnContext(ctx, conn, FnComposePost, req)
 		}},
-		FnReadTimeline: {"nginx.read", func(req []byte) ([]byte, error) {
+		FnReadTimeline: {"nginx.read", func(ctx context.Context, req []byte) ([]byte, error) {
 			cli, conn := feClients.pick(AddrTimeline)
-			return cli.CallConn(conn, FnGetPosts, req)
+			return cli.CallConnContext(ctx, conn, FnGetPosts, req)
 		}},
 	}); err != nil {
 		return nil, err
@@ -587,7 +588,7 @@ func New(cfg Config) (*App, error) {
 
 // composePost runs the fan-out: UniqueID, Text, Media, and User in
 // parallel; then the post is assembled and stored.
-func (a *App) composePost(tc *tierClient, cr ComposeRequest) ([]byte, error) {
+func (a *App) composePost(ctx context.Context, tc *tierClient, cr ComposeRequest) ([]byte, error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -608,7 +609,7 @@ func (a *App) composePost(tc *tierClient, cr ComposeRequest) ([]byte, error) {
 	call := func(dst uint32, fn uint16, payload []byte, on func(*wire.Decoder)) {
 		wg.Add(1)
 		cli, conn := tc.pick(dst)
-		if err := cli.CallConnAsync(conn, fn, payload, func(out []byte, err error) {
+		if err := cli.CallConnAsyncContext(ctx, conn, fn, payload, func(out []byte, err error) {
 			defer wg.Done()
 			if err != nil {
 				fail(err)
@@ -666,7 +667,7 @@ func (a *App) composePost(tc *tierClient, cr ComposeRequest) ([]byte, error) {
 	// Blocking store into MICA-backed post storage.
 	cli, conn := tc.pick(AddrPostStorage)
 	mc := mica.NewClientConn(cli, conn)
-	if err := mc.Set(postKey(post.ID), post.encode()); err != nil {
+	if err := mc.SetContext(ctx, postKey(post.ID), post.encode()); err != nil {
 		return nil, err
 	}
 	a.mu.Lock()
@@ -682,8 +683,14 @@ func (a *App) composePost(tc *tierClient, cr ComposeRequest) ([]byte, error) {
 
 // ComposePost creates a post through the front-end and returns it.
 func (a *App) ComposePost(author, text string, mediaIDs []uint64) (Post, error) {
+	return a.ComposePostContext(context.Background(), author, text, mediaIDs)
+}
+
+// ComposePostContext is ComposePost under ctx: the deadline budget rides the
+// wire into nginx and cascades through every downstream tier.
+func (a *App) ComposePostContext(ctx context.Context, author, text string, mediaIDs []uint64) (Post, error) {
 	cli := a.clientPool.Client(0)
-	out, err := cli.Call(FnComposePost, ComposeRequest{Author: author, Text: text, MediaIDs: mediaIDs}.encode())
+	out, err := cli.CallContext(ctx, FnComposePost, ComposeRequest{Author: author, Text: text, MediaIDs: mediaIDs}.encode())
 	if err != nil {
 		return Post{}, err
 	}
@@ -692,11 +699,16 @@ func (a *App) ComposePost(author, text string, mediaIDs []uint64) (Post, error) 
 
 // ReadUserTimeline returns a user's newest posts through the front-end.
 func (a *App) ReadUserTimeline(author string, limit int) ([]Post, error) {
+	return a.ReadUserTimelineContext(context.Background(), author, limit)
+}
+
+// ReadUserTimelineContext is ReadUserTimeline under ctx.
+func (a *App) ReadUserTimelineContext(ctx context.Context, author string, limit int) ([]Post, error) {
 	cli := a.clientPool.Client(0)
 	e := wire.NewEncoder(nil)
 	e.String16(author)
 	e.Uint32(uint32(limit))
-	out, err := cli.Call(FnReadTimeline, e.Bytes())
+	out, err := cli.CallContext(ctx, FnReadTimeline, e.Bytes())
 	if err != nil {
 		return nil, err
 	}

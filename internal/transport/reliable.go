@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dagger/internal/retry"
 )
 
 // Reliable layers the paper's missing Protocol unit over a lossy
@@ -23,6 +25,7 @@ type Reliable struct {
 	maxRetries int
 	initWnd    float64
 	maxWnd     float64
+	backoff    retry.Policy
 
 	mu       sync.Mutex
 	tx       map[string]*txSession
@@ -79,6 +82,10 @@ type ReliableOptions struct {
 	InitialWindow float64
 	// MaxWindow caps the congestion window (default 1024).
 	MaxWindow float64
+	// Backoff schedules retransmission delays per attempt (exponential
+	// from RTO with deterministic seeded jitter by default). Base == 0
+	// selects the default derived from RTO.
+	Backoff retry.Policy
 }
 
 // NewReliable wraps inner with the reliability protocol.
@@ -95,12 +102,26 @@ func NewReliable(inner PacketConn, opts ReliableOptions) *Reliable {
 	if opts.MaxWindow <= 0 {
 		opts.MaxWindow = 1024
 	}
+	if opts.Backoff.Base <= 0 {
+		// Exponential backoff from RTO: successive retransmissions of the
+		// same packet wait longer, so a congested path is not hammered at a
+		// fixed cadence. Jitter decorrelates peers that lost packets in the
+		// same burst; the fixed seed keeps schedules reproducible.
+		opts.Backoff = retry.Policy{
+			Base:       opts.RTO,
+			Max:        8 * opts.RTO,
+			Multiplier: 2,
+			Jitter:     0.1,
+			Seed:       0xDA66,
+		}
+	}
 	r := &Reliable{
 		inner:      inner,
 		rto:        opts.RTO,
 		maxRetries: opts.MaxRetries,
 		initWnd:    opts.InitialWindow,
 		maxWnd:     opts.MaxWindow,
+		backoff:    opts.Backoff,
 		tx:         make(map[string]*txSession),
 		rx:         make(map[string]*rxSession),
 		stop:       make(chan struct{}),
@@ -135,6 +156,8 @@ func (r *Reliable) Send(endpoint string, pkt []byte) error {
 
 // session returns (creating if needed) the tx session for endpoint. Caller
 // holds r.mu.
+//
+// dagger:requires-lock mu
 func (r *Reliable) session(endpoint string) *txSession {
 	s := r.tx[endpoint]
 	if s == nil {
@@ -146,6 +169,8 @@ func (r *Reliable) session(endpoint string) *txSession {
 
 // drainWindow releases queued packets into a freshly opened window. Caller
 // holds r.mu; released packets are returned for sending outside the lock.
+//
+// dagger:requires-lock mu
 func (r *Reliable) drainWindow(s *txSession) [][]byte {
 	if len(s.waiting) == 0 {
 		return nil
@@ -308,7 +333,9 @@ func (r *Reliable) retransmitLoop() {
 						r.GaveUp.Add(1)
 						continue
 					}
-					p.deadline = now.Add(r.rto)
+					// Exponential backoff per attempt: the next deadline
+					// stretches with each retransmission of this packet.
+					p.deadline = now.Add(r.backoff.Backoff(p.tries))
 					r.Retransmits.Add(1)
 					due = append(due, resend{ep, p.pkt})
 				}

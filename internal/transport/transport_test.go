@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -342,7 +343,7 @@ func TestBridgeRPCOverUDP(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := core.NewRpcThreadedServer(snic, core.ServerConfig{})
-	if err := srv.Register(0, "echo", func(req []byte) ([]byte, error) {
+	if err := srv.Register(0, "echo", func(_ context.Context, req []byte) ([]byte, error) {
 		return append([]byte("udp:"), req...), nil
 	}); err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -9,13 +10,19 @@ import (
 // panic, and anything it accepts must re-encode to an equivalent frame.
 func FuzzUnmarshal(f *testing.F) {
 	good, _ := MarshalAppend(nil, &Message{
-		Header:  Header{Kind: KindRequest, ConnID: 1, RPCID: 2, FlowID: 3, FnID: 4},
+		Header:  Header{Kind: KindRequest, ConnID: 1, RPCID: 2, FlowID: 3, FnID: 4, Budget: 250_000},
 		Payload: []byte("seed"),
 	})
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, CacheLineSize))
 	f.Add(bytes.Repeat([]byte{0x00}, 3*CacheLineSize))
+	// A v1-magic frame: the old 32-byte header layout must be rejected.
+	v1 := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(v1, MagicV1)
+	f.Add(v1)
+	// A frame truncated inside the widened header extension.
+	f.Add(append([]byte(nil), good[:HeaderSize-4]...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, consumed, err := Unmarshal(data)
@@ -37,7 +44,7 @@ func FuzzUnmarshal(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if m2.Kind != m.Kind || m2.ConnID != m.ConnID || m2.RPCID != m.RPCID ||
-			m2.FlowID != m.FlowID || m2.FnID != m.FnID ||
+			m2.FlowID != m.FlowID || m2.FnID != m.FnID || m2.Budget != m.Budget ||
 			!bytes.Equal(m2.Payload, m.Payload) {
 			t.Fatal("round trip diverged")
 		}

@@ -16,8 +16,9 @@ import (
 const CacheLineSize = 64
 
 // HeaderSize is the encoded size of a message header, at the front of the
-// first cache line.
-const HeaderSize = 32
+// first cache line. Header v2 grew from 32 to 40 bytes to carry the per-RPC
+// deadline budget (plus 4 reserved bytes for future lifecycle fields).
+const HeaderSize = 40
 
 // FirstLinePayload is the payload capacity of the first cache line.
 const FirstLinePayload = CacheLineSize - HeaderSize
@@ -31,8 +32,14 @@ const MaxPayload = 16 * 1024
 // to this, so any legal frame fits a pooled buffer.
 const MaxFrameSize = (1 + (MaxPayload-FirstLinePayload+CacheLineSize-1)/CacheLineSize) * CacheLineSize
 
-// Magic identifies Dagger frames on the wire.
-const Magic uint16 = 0xDA66
+// Magic identifies Dagger frames on the wire. The value was bumped when the
+// header grew its budget field so v1 frames are rejected cleanly rather than
+// misparsed (the layouts are not compatible).
+const Magic uint16 = 0xDA67
+
+// MagicV1 is the pre-budget header magic. Kept only so tests can assert that
+// old-layout frames are rejected with ErrBadMagic.
+const MagicV1 uint16 = 0xDA66
 
 // Kind distinguishes message types multiplexed over one symmetric stack
 // (the paper: "Request types are distinguished by the request type field").
@@ -75,7 +82,12 @@ type Header struct {
 	Len     uint32 // payload length in bytes
 	SrcAddr uint32 // source host address (connection setup and steering)
 	DstAddr uint32 // destination host address
+	Budget  uint32 // remaining deadline budget in microseconds; 0 = none
 }
+
+// MaxBudget is the largest encodable deadline budget (~71.6 minutes). Budgets
+// beyond it saturate rather than wrap.
+const MaxBudget uint32 = ^uint32(0)
 
 // Message is a complete RPC frame: header plus payload.
 type Message struct {
@@ -132,6 +144,8 @@ func MarshalAppend(dst []byte, m *Message) ([]byte, error) {
 	binary.LittleEndian.PutUint32(b[20:], uint32(len(m.Payload)))
 	binary.LittleEndian.PutUint32(b[24:], m.SrcAddr)
 	binary.LittleEndian.PutUint32(b[28:], m.DstAddr)
+	binary.LittleEndian.PutUint32(b[32:], m.Budget)
+	// b[36:40] reserved, zero.
 	copy(b[HeaderSize:], m.Payload)
 	return dst, nil
 }
@@ -160,6 +174,7 @@ func ParseHeader(buf []byte) (Header, error) {
 	h.Len = binary.LittleEndian.Uint32(buf[20:])
 	h.SrcAddr = binary.LittleEndian.Uint32(buf[24:])
 	h.DstAddr = binary.LittleEndian.Uint32(buf[28:])
+	h.Budget = binary.LittleEndian.Uint32(buf[32:])
 	if h.Len > MaxPayload {
 		return Header{}, ErrTooLarge
 	}

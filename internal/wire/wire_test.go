@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 )
@@ -21,6 +22,7 @@ func sampleMessage(payloadLen int) *Message {
 			FnID:    2,
 			SrcAddr: 0x0A000001,
 			DstAddr: 0x0A000002,
+			Budget:  1_500_000, // 1.5s in µs
 		},
 		Payload: p,
 	}
@@ -48,7 +50,7 @@ func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 		}
 		if got.Kind != m.Kind || got.ConnID != m.ConnID || got.RPCID != m.RPCID ||
 			got.FlowID != m.FlowID || got.FnID != m.FnID || got.Flags != m.Flags ||
-			got.SrcAddr != m.SrcAddr || got.DstAddr != m.DstAddr {
+			got.SrcAddr != m.SrcAddr || got.DstAddr != m.DstAddr || got.Budget != m.Budget {
 			t.Fatalf("header mismatch: got %+v want %+v", got.Header, m.Header)
 		}
 		if !bytes.Equal(got.Payload, m.Payload) {
@@ -61,7 +63,9 @@ func TestLinesFor(t *testing.T) {
 	cases := []struct {
 		payload, lines int
 	}{
-		{0, 1}, {1, 1}, {32, 1}, {33, 2}, {96, 2}, {97, 3}, {512, 9},
+		{0, 1}, {1, 1}, {FirstLinePayload, 1}, {FirstLinePayload + 1, 2},
+		{FirstLinePayload + CacheLineSize, 2}, {FirstLinePayload + CacheLineSize + 1, 3},
+		{512, 9},
 	}
 	for _, c := range cases {
 		if got := LinesFor(c.payload); got != c.lines {
@@ -89,6 +93,47 @@ func TestUnmarshalErrors(t *testing.T) {
 	buf2, _ := MarshalAppend(nil, m2)
 	if _, _, err := Unmarshal(buf2[:CacheLineSize]); err != ErrShortBuffer {
 		t.Errorf("truncated multi-line: %v", err)
+	}
+}
+
+// TestHeaderV2Layout pins the v2 framing: budget boundary values survive the
+// round trip, frames truncated inside the widened header are rejected, and
+// old-magic (v1 layout) frames fail cleanly with ErrBadMagic.
+func TestHeaderV2Layout(t *testing.T) {
+	for _, budget := range []uint32{0, 1, 1000, MaxBudget - 1, MaxBudget} {
+		m := sampleMessage(8)
+		m.Budget = budget
+		buf, err := MarshalAppend(nil, m)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		got, err := ParseHeader(buf)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if got.Budget != budget {
+			t.Fatalf("budget %d round-tripped to %d", budget, got.Budget)
+		}
+	}
+
+	// Truncation inside the header extension (bytes 32..39) must be rejected.
+	m := sampleMessage(4)
+	buf, _ := MarshalAppend(nil, m)
+	for _, n := range []int{HeaderSize - 8, HeaderSize - 1} {
+		if _, err := ParseHeader(buf[:n]); err != ErrShortBuffer {
+			t.Errorf("ParseHeader(%d bytes) = %v, want ErrShortBuffer", n, err)
+		}
+	}
+
+	// A v1-magic frame is an old layout; it must be rejected, not misparsed.
+	old := make([]byte, CacheLineSize)
+	copy(old, buf)
+	binary.LittleEndian.PutUint16(old, MagicV1)
+	if _, err := ParseHeader(old); err != ErrBadMagic {
+		t.Errorf("v1 magic = %v, want ErrBadMagic", err)
+	}
+	if _, _, err := Unmarshal(old); err != ErrBadMagic {
+		t.Errorf("Unmarshal v1 magic = %v, want ErrBadMagic", err)
 	}
 }
 
@@ -124,12 +169,12 @@ func TestMarshalAppendStacks(t *testing.T) {
 
 // Property: round-trip preserves header and payload for arbitrary content.
 func TestRoundTripProperty(t *testing.T) {
-	f := func(payload []byte, connID uint32, rpcID uint64, flowID, fnID uint16) bool {
+	f := func(payload []byte, connID uint32, rpcID uint64, flowID, fnID uint16, budget uint32) bool {
 		if len(payload) > MaxPayload {
 			payload = payload[:MaxPayload]
 		}
 		m := &Message{
-			Header:  Header{Kind: KindResponse, ConnID: connID, RPCID: rpcID, FlowID: flowID, FnID: fnID},
+			Header:  Header{Kind: KindResponse, ConnID: connID, RPCID: rpcID, FlowID: flowID, FnID: fnID, Budget: budget},
 			Payload: payload,
 		}
 		buf, err := MarshalAppend(nil, m)
@@ -141,7 +186,7 @@ func TestRoundTripProperty(t *testing.T) {
 			return false
 		}
 		return got.ConnID == connID && got.RPCID == rpcID && got.FlowID == flowID &&
-			got.FnID == fnID && bytes.Equal(got.Payload, payload)
+			got.FnID == fnID && got.Budget == budget && bytes.Equal(got.Payload, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
@@ -166,7 +211,7 @@ func TestReassemblerSingleLine(t *testing.T) {
 
 func TestReassemblerMultiLine(t *testing.T) {
 	r := NewReassembler()
-	m := sampleMessage(300) // 1 + ceil(268/64) = 6 lines
+	m := sampleMessage(300) // 1 + ceil((300-FirstLinePayload)/64) = 6 lines
 	buf, _ := MarshalAppend(nil, m)
 	lines := len(buf) / CacheLineSize
 	for i := 0; i < lines-1; i++ {
