@@ -11,7 +11,10 @@
 //	daggervet [packages]
 //
 // Package patterns follow the go tool: a literal directory ("./internal/sim"),
-// or a "..." wildcard ("./..."). With no arguments, ./... is assumed.
+// or a "..." wildcard ("./..."). With no arguments, ./... is assumed. Test
+// files (in-package and external _test packages) are loaded and analyzed by
+// the analyzers that opt into them — simdeterminism in particular polices
+// unseeded randomness and wall-clock reads in simulation tests.
 // Diagnostics print as file:line:col: message (analyzer); the exit status is
 // 1 if any diagnostic was reported, 2 on usage or load errors. Individual
 // findings can be suppressed with a trailing or preceding
@@ -45,16 +48,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Test files are analyzed too: analyzers that opt in (simdeterminism)
+	// police in-package and external test code the same as production code.
+	loader.IncludeTests = true
 	dirs, err := expand(loader.ModuleRoot(), patterns)
 	if err != nil {
 		fatal(err)
 	}
 	exit := 0
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir, "")
-		if err != nil {
-			fatal(err)
-		}
+	report := func(pkg *analysis.Package) {
 		diags, err := analysis.Run(pkg, analyzers)
 		if err != nil {
 			fatal(err)
@@ -62,6 +64,20 @@ func main() {
 		for _, d := range diags {
 			fmt.Println(d)
 			exit = 1
+		}
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir, "")
+		if err != nil {
+			fatal(err)
+		}
+		report(pkg)
+		xpkg, err := loader.LoadXTest(dir, "")
+		if err != nil {
+			fatal(err)
+		}
+		if xpkg != nil {
+			report(xpkg)
 		}
 	}
 	os.Exit(exit)

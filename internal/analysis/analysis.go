@@ -16,6 +16,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
+	// Tests opts the analyzer into _test.go files: when false, diagnostics
+	// the analyzer reports in test files are discarded (test code may copy
+	// locks into tables, allocate on hot paths, and drop errors at will; it
+	// may NOT be nondeterministic in simulation packages).
+	Tests bool
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -81,7 +86,12 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 		}
-		out = append(out, pass.diags...)
+		for _, d := range pass.diags {
+			if !a.Tests && strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				continue
+			}
+			out = append(out, d)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos

@@ -2,11 +2,59 @@ package analysis
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestSimDeterminismFixture(t *testing.T) {
 	RunFixture(t, SimDeterminism, filepath.Join("testdata", "simdeterminism"), "dagger/internal/sim/fixture")
+}
+
+// TestSimDeterminismTestFileFixture proves the loader reaches in-package
+// _test.go files and that simdeterminism polices them: unseeded rand and
+// wall-clock reads are flagged, while seeded tests and test-file map ranges
+// pass.
+func TestSimDeterminismTestFileFixture(t *testing.T) {
+	RunFixture(t, SimDeterminism,
+		filepath.Join("testdata", "simdeterminism", "tests"), "dagger/internal/sim/fixture/tests")
+}
+
+// TestSimDeterminismXTestFixture proves external test packages (package
+// foo_test) are loaded under the synthetic /xtest path and analyzed in scope.
+func TestSimDeterminismXTestFixture(t *testing.T) {
+	RunXTestFixture(t, SimDeterminism,
+		filepath.Join("testdata", "simdeterminism", "tests"), "dagger/internal/sim/fixture/tests")
+}
+
+// TestTestFileDiagnosticsFilteredWithoutOptIn proves analyzers that do not
+// opt into test files produce no diagnostics there even when scoped in: the
+// same unseeded fixture attributed to a lock-safety-scoped path must stay
+// silent under a Tests=false analyzer.
+func TestTestFileDiagnosticsFilteredWithoutOptIn(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", "simdeterminism", "tests"), "dagger/internal/sim/fixture/tests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTests := &Analyzer{
+		Name: "wantless",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				p.Reportf(f.Pos(), "flag every file")
+			}
+			return nil
+		},
+	}
+	diags, err := Run(pkg, []*Analyzer{noTests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.HasSuffix(diags[0].Pos.Filename, "fixture.go") {
+		t.Fatalf("Tests=false analyzer should only report in non-test files, got %v", diags)
+	}
 }
 
 func TestLockSafetyFixture(t *testing.T) {
@@ -87,8 +135,8 @@ func TestRepoClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	dirs := []string{
-		"../sim", "../interconnect", "../nicmodel", "../netmodel",
-		"../microsim", "../experiments",
+		"../sim", "../dataplane", "../interconnect", "../nicmodel",
+		"../netmodel", "../microsim", "../experiments", "../overload",
 		"../core", "../transport", "../fabric", "../ringbuf", "../wire",
 		"../../examples/quickstart", "../../examples/kvs",
 		"../../examples/flight", "../../examples/socialnet",
@@ -96,16 +144,27 @@ func TestRepoClean(t *testing.T) {
 	}
 	all := []*Analyzer{SimDeterminism, LockSafety, HotPathAlloc, ErrCheckLite}
 	for _, dir := range dirs {
+		pkgs := []*Package{}
 		pkg, err := loader.Load(dir, "")
 		if err != nil {
 			t.Fatalf("load %s: %v", dir, err)
 		}
-		diags, err := Run(pkg, all)
-		if err != nil {
-			t.Fatal(err)
+		pkgs = append(pkgs, pkg)
+		// External test packages (package foo_test) are part of the analyzed
+		// surface too.
+		if xpkg, err := loader.LoadXTest(dir, ""); err != nil {
+			t.Fatalf("load xtest %s: %v", dir, err)
+		} else if xpkg != nil {
+			pkgs = append(pkgs, xpkg)
 		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
+		for _, p := range pkgs {
+			diags, err := Run(p, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
 		}
 	}
 }

@@ -21,6 +21,11 @@ var (
 func sharedLoader() (*Loader, error) {
 	fixtureLoaderOnce.Do(func() {
 		fixtureLoader, fixtureLoaderErr = NewLoader(".")
+		if fixtureLoader != nil {
+			// Mirror cmd/daggervet: test files are part of the analyzed
+			// surface, so fixtures and repo-clean runs cover them too.
+			fixtureLoader.IncludeTests = true
+		}
 	})
 	return fixtureLoader, fixtureLoaderErr
 }
@@ -45,6 +50,31 @@ func RunFixture(t *testing.T, a *Analyzer, dir, asPath string) {
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", dir, err)
 	}
+	checkFixture(t, a, pkg)
+}
+
+// RunXTestFixture is RunFixture for a fixture directory's external test
+// package (loaded via LoadXTest under asPath+"/xtest").
+func RunXTestFixture(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadXTest(dir, asPath)
+	if err != nil {
+		t.Fatalf("load xtest fixture %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no external test files", dir)
+	}
+	checkFixture(t, a, pkg)
+}
+
+// checkFixture runs analyzer a over pkg and matches its diagnostics against
+// the package's want comments.
+func checkFixture(t *testing.T, a *Analyzer, pkg *Package) {
+	t.Helper()
 	diags, err := Run(pkg, []*Analyzer{a})
 	if err != nil {
 		t.Fatalf("run %s: %v", a.Name, err)

@@ -21,6 +21,7 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -57,6 +58,13 @@ type Loader struct {
 	moduleRoot string
 	modulePath string
 	fset       *token.FileSet
+
+	// IncludeTests merges each target package's in-package _test.go files
+	// into the loaded package, so analyzers that opt in (Analyzer.Tests) can
+	// police test code too. External test packages (package foo_test) are
+	// loaded separately via LoadXTest. Dependency packages are always loaded
+	// without their tests.
+	IncludeTests bool
 
 	mu   sync.Mutex
 	deps map[string]*types.Package
@@ -130,10 +138,48 @@ func (l *Loader) Load(dir string, asPath string) (*Package, error) {
 			asPath = l.modulePath + "/" + filepath.ToSlash(rel)
 		}
 	}
-	files, err := l.parseDir(abs)
+	files, err := l.parseDir(abs, l.IncludeTests)
 	if err != nil {
 		return nil, err
 	}
+	return l.check(asPath, abs, files)
+}
+
+// LoadXTest loads the external test package (package foo_test) of dir, if
+// any, under the synthetic import path asPath + "/xtest" — beneath the base
+// path, so path-scoped analyzers treat external tests as part of the tree
+// they test. Returns (nil, nil) when dir has no external test files.
+func (l *Loader) LoadXTest(dir string, asPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if asPath == "" {
+		rel, err := filepath.Rel(l.moduleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleRoot)
+		}
+		asPath = l.modulePath
+		if rel != "." {
+			asPath = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	bp, err := l.importDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(bp.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	files, err := l.parseFiles(abs, bp.XTestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(asPath+"/xtest", abs, files)
+}
+
+// check type-checks files as package asPath with full type information.
+func (l *Loader) check(asPath, dir string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -152,7 +198,7 @@ func (l *Loader) Load(dir string, asPath string) (*Package, error) {
 	}
 	return &Package{
 		Path:  asPath,
-		Dir:   abs,
+		Dir:   dir,
 		Fset:  l.fset,
 		Files: files,
 		Types: tpkg,
@@ -160,14 +206,37 @@ func (l *Loader) Load(dir string, asPath string) (*Package, error) {
 	}, nil
 }
 
-// parseDir parses the build-constrained non-test Go files of dir.
-func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+// importDir resolves dir's build info, tolerating test-only directories
+// (which go/build reports as NoGoError while still listing the test files).
+func (l *Loader) importDir(dir string) (*build.Package, error) {
 	bp, err := l.ctx.ImportDir(dir, 0)
 	if err != nil {
+		var noGo *build.NoGoError
+		if errors.As(err, &noGo) && bp != nil &&
+			(len(bp.TestGoFiles) > 0 || len(bp.XTestGoFiles) > 0) {
+			return bp, nil
+		}
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
+	return bp, nil
+}
+
+// parseDir parses the build-constrained Go files of dir: the non-test files,
+// plus the in-package test files when includeTests is set.
+func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	bp, err := l.importDir(dir)
+	if err != nil {
+		return nil, err
+	}
 	names := append([]string(nil), bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
 	sort.Strings(names)
+	return l.parseFiles(dir, names)
+}
+
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
 	files := make([]*ast.File, 0, len(names))
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -201,7 +270,7 @@ func (imp *depImporter) Import(path string) (*types.Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	files, err := l.parseDir(dir)
+	files, err := l.parseDir(dir, false)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // SimDeterminism forbids sources of nondeterminism inside the simulation
@@ -12,16 +13,23 @@ import (
 // virtual sim.Time clock instead of the wall clock, an explicitly seeded
 // rand.New(rand.NewSource(seed)) instead of math/rand's global source, and
 // must not depend on Go's randomized map iteration order.
+// SimDeterminism applies to _test.go files too (Tests): a test that seeds
+// from the wall clock or the global source can mask a determinism regression
+// by never reproducing it. The map-iteration check is waived in test files —
+// tests routinely range over expectation maps where order cannot leak into
+// simulated results.
 var SimDeterminism = &Analyzer{
 	Name: "simdeterminism",
 	Doc: "forbid wall-clock time, the global math/rand source, and map " +
 		"iteration order dependence in simulation packages",
-	Run: runSimDeterminism,
+	Tests: true,
+	Run:   runSimDeterminism,
 }
 
 // simScopes are the packages whose behavior feeds simulated results.
 var simScopes = []string{
 	"dagger/internal/sim",
+	"dagger/internal/dataplane",
 	"dagger/internal/interconnect",
 	"dagger/internal/nicmodel",
 	"dagger/internal/netmodel",
@@ -49,6 +57,7 @@ func runSimDeterminism(pass *Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		isTestFile := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -64,6 +73,11 @@ func runSimDeterminism(pass *Pass) error {
 						"rand.%s draws from the global math/rand source in simulation code; use a seeded rand.New(rand.NewSource(seed))", fn.Name())
 				}
 			case *ast.RangeStmt:
+				if isTestFile {
+					// Map order in a test cannot leak into simulated results;
+					// only the wall-clock and global-rand checks apply here.
+					return true
+				}
 				t := pass.TypeOf(n.X)
 				if t == nil {
 					return true

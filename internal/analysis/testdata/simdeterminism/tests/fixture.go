@@ -1,0 +1,8 @@
+// Package fixture anchors the test-file fixtures: the interesting cases
+// live in fixture_test.go (in-package) and fixture_ext_test.go (external
+// test package), which the loader only reaches with IncludeTests/LoadXTest.
+package fixture
+
+// Tick is a benign production declaration; the production side of this
+// fixture is deliberately clean so every diagnostic comes from a test file.
+func Tick(now int64) int64 { return now + 1 }

@@ -1,0 +1,24 @@
+// External test package: loaded separately via Loader.LoadXTest under the
+// synthetic <path>/xtest import path, which keeps it inside the analyzer's
+// scope.
+package fixture_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestExternalSeededIsClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if rng.Intn(10) > 10 {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestExternalUnseededIsFlagged(t *testing.T) {
+	_ = time.Now()          // want `time\.Now reads the wall clock`
+	if rand.Intn(10) > 10 { // want `rand\.Intn draws from the global math/rand source`
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,31 @@
+package fixture
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// A seeded test is the approved pattern: explicit source, reproducible runs.
+func TestSeededIsClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	if Tick(int64(rng.Intn(10))) == 0 {
+		t.Fatal("unreachable")
+	}
+	// Constructing times is fine; only reading the clock is not.
+	_ = time.Unix(42, 0)
+}
+
+// An unseeded test hides determinism regressions behind run-to-run noise.
+func TestUnseededIsFlagged(t *testing.T) {
+	_ = rand.Intn(10) // want `rand\.Intn draws from the global math/rand source`
+	_ = time.Now()    // want `time\.Now reads the wall clock`
+	time.Sleep(0)     // want `time\.Sleep reads the wall clock`
+	// Map iteration order in a test file is waived: it cannot leak into
+	// simulated results, so no diagnostic here.
+	for k, v := range map[int]int{1: 2} {
+		if Tick(int64(k)) == int64(v) {
+			t.Log("match")
+		}
+	}
+}

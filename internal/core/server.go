@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dagger/internal/dataplane"
 	"dagger/internal/fabric"
 	"dagger/internal/sim"
 	"dagger/internal/trace"
@@ -103,6 +104,17 @@ type workItem struct {
 	m        wire.Message
 	received time.Time
 	deadline time.Time // zero when the request carries no budget
+}
+
+// ShedDecision is the functional substrate's entry into the shared
+// dataplane shed policy: a request received at received carrying budget
+// microseconds of deadline budget (0 = no deadline) is shed when the
+// handler would only start at execStart, after the budget has expired.
+// It is exported so the cross-substrate parity test can assert the server
+// and the timing model's nicmodel.NIC.ShedExpired reach identical verdicts.
+func ShedDecision(received, execStart time.Time, budget uint32) bool {
+	elapsed := dataplane.ElapsedMicros(execStart.Sub(received).Nanoseconds())
+	return dataplane.ShouldShed(budget, elapsed)
 }
 
 // NewRpcThreadedServer creates a server over all flows of nic.
@@ -276,7 +288,7 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 		resp.Flags = flagError
 		resp.Payload = []byte(ErrNoFn.Error())
 		s.Errors.Add(1)
-	case !deadline.IsZero() && !execStart.Before(deadline):
+	case ShedDecision(received, execStart, m.Budget):
 		// The budget expired on arrival or while queued: shed without
 		// invoking the handler — the caller already gave up, so any work
 		// here would be doomed (the tail-amplification the budget exists

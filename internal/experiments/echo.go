@@ -7,6 +7,7 @@ package experiments
 import (
 	"math/rand"
 
+	"dagger/internal/dataplane"
 	"dagger/internal/interconnect"
 	"dagger/internal/netmodel"
 	"dagger/internal/nicmodel"
@@ -25,6 +26,10 @@ const (
 	// are not processed (the §5.2 best-effort mode: "allowing arbitrary
 	// packet drops by the server").
 	bestEffortBookkeep sim.Time = 12
+	// bestEffortQueueCap bounds the server-core queue in best-effort mode;
+	// arrivals refused by dataplane.Admit at this depth are dropped (65 keeps
+	// the pre-dataplane "depth > 64 drops" admission boundary).
+	bestEffortQueueCap = 65
 )
 
 // EchoConfig parametrizes the symmetric echo benchmark of §5.2–5.5: a
@@ -243,8 +248,10 @@ func RunEcho(cfg EchoConfig) *EchoResult {
 			}
 			hccPenalty := serverNIC.HCC.Access(uint64(th) * 64)
 			eng.After(iface.RxDeliver()+cmPenalty+hccPenalty, func() {
-				if cfg.BestEffort && serverCore.QueueLen() > 64 {
-					res.Dropped++
+				if cfg.BestEffort && !dataplane.Admit(serverCore.QueueLen(), bestEffortQueueCap) {
+					if dataplane.DropRefused(dataplane.RxRingOverflow) {
+						res.Dropped++
+					}
 					return
 				}
 				serverCore.Acquire(func() {

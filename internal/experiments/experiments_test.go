@@ -218,13 +218,69 @@ func TestAllRunnersSmoke(t *testing.T) {
 	}
 }
 
+// TestOverloadShedSeparation pins the overload story's shape on the timing
+// stack: below saturation the shed policy is inert (identical results on and
+// off), past saturation it bounds the completed-request tail near the budget
+// while the no-shed tail grows with the backlog.
+func TestOverloadShedSeparation(t *testing.T) {
+	iface := interconnect.Config{Kind: interconnect.UPI, Batch: 1}
+	satRPS := 1e9 / float64(OverloadServiceTime(iface))
+
+	run := func(mult float64, shed bool) *OverloadResult {
+		return RunOverloadPoint(OverloadConfig{
+			Iface: iface, OfferedRPS: mult * satRPS, Requests: 20_000,
+			BudgetMicros: overloadBudgetMicros, Shed: shed, Seed: 9,
+		})
+	}
+
+	// Below saturation the budget never binds: shed on/off must be
+	// bit-identical (same seed, same arrivals, zero sheds).
+	subOff, subOn := run(0.5, false), run(0.5, true)
+	if subOn.Shed != 0 {
+		t.Fatalf("%d sheds below saturation", subOn.Shed)
+	}
+	if subOff.P99Us() != subOn.P99Us() || subOff.Completed != subOn.Completed {
+		t.Fatalf("shed policy perturbed a sub-saturation run: off p99 %.1fus/%d completed, on %.1fus/%d",
+			subOff.P99Us(), subOff.Completed, subOn.P99Us(), subOn.Completed)
+	}
+
+	// Past saturation the separation appears.
+	off, on := run(2.5, false), run(2.5, true)
+	if on.Shed == 0 {
+		t.Fatal("no sheds at 2.5x saturation")
+	}
+	if on.P99Us() >= off.P99Us() {
+		t.Fatalf("shed-on p99 %.1fus >= shed-off p99 %.1fus", on.P99Us(), off.P99Us())
+	}
+	// With shedding, completed requests stay near the budget (they were
+	// admitted precisely because their budget had not expired).
+	if on.P99Us() > 2*overloadBudgetMicros {
+		t.Fatalf("shed-on p99 %.1fus far exceeds the %dus budget", on.P99Us(), overloadBudgetMicros)
+	}
+	// Without shedding, expired work still executes: deadline misses abound.
+	// (With shedding, completions can still overshoot slightly — a request
+	// admitted just under budget pays the service and response path after
+	// the check — but the p99 bound above caps the overshoot.)
+	if off.DeadlineMisses == 0 {
+		t.Fatal("no deadline misses without shedding past saturation")
+	}
+
+	// Determinism: the same config reproduces bit-identical results.
+	again := run(2.5, true)
+	if again.Shed != on.Shed || again.Completed != on.Completed || again.P99Us() != on.P99Us() {
+		t.Fatalf("overload point not deterministic: %d/%d/%.1f vs %d/%d/%.1f",
+			again.Shed, again.Completed, again.P99Us(), on.Shed, on.Completed, on.P99Us())
+	}
+}
+
 func TestRegistryIDs(t *testing.T) {
 	ids := IDs()
 	if len(ids) != len(Registry()) {
 		t.Fatal("IDs out of sync with Registry")
 	}
 	for _, want := range []string{"fig3", "fig4", "fig5", "fig10", "fig11-latency",
-		"fig11-scale", "fig12", "fig12-skew", "fig15", "table1", "table3", "table4", "raw-read"} {
+		"fig11-scale", "fig12", "fig12-skew", "fig15", "table1", "table3", "table4",
+		"raw-read", "overload"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

@@ -36,6 +36,7 @@ func Registry() map[string]Runner {
 		"ablations":     RunAblations,
 		"fig15":         RunFig15,
 		"raw-read":      RunRawReadCompare,
+		"overload":      RunOverload,
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dagger/internal/dataplane"
 	"dagger/internal/ringbuf"
 	"dagger/internal/wire"
 )
@@ -54,26 +55,30 @@ var (
 	ErrDupAddress = errors.New("fabric: address already in use")
 )
 
-// Balancer mirrors nicmodel's steering schemes for the functional stack.
-type Balancer int
+// Balancer is the steering scheme for incoming requests. It aliases
+// dataplane.Scheme: the decision logic lives in internal/dataplane, shared
+// verbatim with the timing stack's nicmodel so the two substrates cannot
+// drift.
+type Balancer = dataplane.Scheme
 
-// Steering schemes for incoming requests.
+// Steering schemes for incoming requests (aliases kept for API
+// compatibility; see dataplane.Scheme for semantics).
 const (
 	// BalanceStatic pins each connection to the flow assigned at connect
 	// time.
-	BalanceStatic Balancer = iota
+	BalanceStatic = dataplane.SteerStatic
 	// BalanceUniform round-robins incoming requests over flows.
-	BalanceUniform
+	BalanceUniform = dataplane.SteerUniform
 	// BalanceObjectLevel hashes a key extracted from the payload, giving
 	// MICA-style object-to-core affinity.
-	BalanceObjectLevel
+	BalanceObjectLevel = dataplane.SteerKeyHash
 )
 
 // KeyExtractor pulls the steering key out of a request payload for
 // object-level balancing. Registered per NIC by the application (the paper
 // instantiates an application-specific balancer inside the NICs serving
 // MICA tiers, §5.7).
-type KeyExtractor func(payload []byte) []byte
+type KeyExtractor = dataplane.KeyExtractor
 
 // Flow is one NIC flow. Dagger's stack is symmetric — the same NIC serves
 // both RPC clients and servers, with frames distinguished by the request
@@ -90,25 +95,71 @@ type Flow struct {
 	dropped atomic.Uint64
 }
 
-// bufClasses are the buffer size classes shared by every data-path pool:
-// small control frames up to the largest legal frame, so any frame or
+// bufClasses are the default buffer size classes shared by every data-path
+// pool: small control frames up to the largest legal frame, so any frame or
 // payload fits a pooled buffer.
 var bufClasses = []int{64, 256, 1024, 4096, wire.MaxFrameSize}
 
-// Per-class ring capacities: flowPoolSlots per flow, fabricPoolSlots in the
-// shared per-fabric parent that flow pools spill into and refill from.
+// Default per-class ring capacities: flowPoolSlots per flow,
+// fabricPoolSlots in the shared per-fabric parent that flow pools spill
+// into and refill from.
 const (
 	flowPoolSlots   = 64
 	fabricPoolSlots = 256
 )
 
-func newFlow(depth int, parent *ringbuf.BufPool) *Flow {
+// PoolConfig sizes the fabric's buffer pools. The defaults suit the mixed
+// small-RPC workloads of the paper's evaluation; workloads with a very
+// different payload mix (e.g. all frames just over a class boundary) can
+// supply their own class ladder and slot counts.
+type PoolConfig struct {
+	// Classes is the ascending ladder of buffer size classes. The last
+	// class must be at least wire.MaxFrameSize so any legal frame fits a
+	// pooled buffer.
+	Classes []int
+	// FlowSlots is the per-class ring capacity of each per-flow pool.
+	FlowSlots int
+	// FabricSlots is the per-class ring capacity of the shared per-fabric
+	// parent pool that flow pools spill into and refill from.
+	FabricSlots int
+}
+
+// DefaultPoolConfig returns the pool sizing used by NewFabric.
+func DefaultPoolConfig() PoolConfig {
+	return PoolConfig{
+		Classes:     append([]int(nil), bufClasses...),
+		FlowSlots:   flowPoolSlots,
+		FabricSlots: fabricPoolSlots,
+	}
+}
+
+func (c PoolConfig) validate() error {
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("fabric: PoolConfig needs at least one size class")
+	}
+	prev := 0
+	for _, sz := range c.Classes {
+		if sz <= prev {
+			return fmt.Errorf("fabric: PoolConfig classes must be positive and strictly ascending, got %v", c.Classes)
+		}
+		prev = sz
+	}
+	if last := c.Classes[len(c.Classes)-1]; last < wire.MaxFrameSize {
+		return fmt.Errorf("fabric: largest PoolConfig class %d is below wire.MaxFrameSize %d", last, wire.MaxFrameSize)
+	}
+	if c.FlowSlots <= 0 || c.FabricSlots <= 0 {
+		return fmt.Errorf("fabric: PoolConfig slot counts must be positive")
+	}
+	return nil
+}
+
+func newFlow(depth int, parent *ringbuf.BufPool, cfg PoolConfig) *Flow {
 	return &Flow{
 		req:     ringbuf.New[[]byte](depth),
 		resp:    ringbuf.New[[]byte](depth),
 		reqWake: make(chan struct{}, 1),
 		rspWake: make(chan struct{}, 1),
-		pool:    ringbuf.NewBufPool(flowPoolSlots, parent, bufClasses...),
+		pool:    ringbuf.NewBufPool(cfg.FlowSlots, parent, cfg.Classes...),
 	}
 }
 
@@ -123,7 +174,11 @@ func (f *Flow) deliver(frame []byte, isResponse bool) bool {
 		ring, wake = f.resp, f.rspWake
 	}
 	if !ring.Push(frame) {
-		f.dropped.Add(1)
+		// Full RX ring: the dataplane RX overflow policy (RxRingOverflow)
+		// is drop-newest, never blocking the fabric.
+		if dataplane.DropRefused(dataplane.RxRingOverflow) {
+			f.dropped.Add(1)
+		}
 		return false
 	}
 	select {
@@ -237,32 +292,34 @@ func (n *SoftNIC) Close() {
 	n.fab.remove(n.addr)
 }
 
-// pickFlow steers an inbound request to a local flow.
+// pickFlow steers an inbound request to a local flow. The decision itself
+// is dataplane.Steer — this method only supplies the NIC's state (rr
+// counter, connection table, extractor) as plain inputs.
 func (n *SoftNIC) pickFlow(m *wire.Message) uint16 {
 	n.mu.RLock()
 	balancer, extractor := n.balancer, n.extractor
 	n.mu.RUnlock()
 	switch balancer {
 	case BalanceUniform:
-		// The modulo must happen at full counter width: narrowing to uint16
-		// first skews the distribution at every 65536 wrap whenever the flow
-		// count does not divide 65536.
-		return uint16((n.rr.Add(1) - 1) % uint32(len(n.flows)))
+		return dataplane.Steer(balancer, dataplane.SteerInput{
+			NFlows: len(n.flows),
+			RR:     n.rr.Add(1) - 1,
+		})
 	case BalanceObjectLevel:
-		key := extractor(m.Payload)
-		// Inline FNV-1a; hash/fnv allocates its digest per call.
-		h := uint32(2166136261)
-		for _, b := range key {
-			h ^= uint32(b)
-			h *= 16777619
-		}
-		return uint16(h % uint32(len(n.flows)))
+		return dataplane.Steer(balancer, dataplane.SteerInput{
+			NFlows: len(n.flows),
+			Key:    extractor(m.Payload),
+		})
 	default: // static
 		n.mu.RLock()
 		f, ok := n.conns[connKey{m.SrcAddr, m.ConnID}]
 		n.mu.RUnlock()
 		if ok {
-			return f
+			return dataplane.Steer(balancer, dataplane.SteerInput{
+				NFlows:   len(n.flows),
+				ConnFlow: f,
+				HasConn:  true,
+			})
 		}
 		// Unknown connection: assign round-robin and remember (the CM
 		// opens the connection on first contact).
@@ -271,7 +328,10 @@ func (n *SoftNIC) pickFlow(m *wire.Message) uint16 {
 		if f, ok := n.conns[connKey{m.SrcAddr, m.ConnID}]; ok {
 			return f
 		}
-		f = uint16((n.rr.Add(1) - 1) % uint32(len(n.flows)))
+		f = dataplane.Steer(balancer, dataplane.SteerInput{
+			NFlows: len(n.flows),
+			RR:     n.rr.Add(1) - 1,
+		})
 		n.conns[connKey{m.SrcAddr, m.ConnID}] = f
 		return f
 	}
@@ -312,7 +372,7 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 		// Responses steer to the flow the request came from (§4.2: "the
 		// NIC reads this information to ensure that the responses are
 		// steered to the same flows where requests came from").
-		flow = m.FlowID % uint16(len(dst.flows))
+		flow = dataplane.ResponseFlow(m.FlowID, len(dst.flows))
 	default:
 		flow = dst.pickFlow(m)
 	}
@@ -344,19 +404,38 @@ type Gateway func(dstAddr uint32, frame []byte) error
 
 // Fabric connects SoftNICs by address.
 type Fabric struct {
-	mu   sync.RWMutex
-	nics map[uint32]*SoftNIC
-	gw   Gateway
-	pool *ringbuf.BufPool
+	mu      sync.RWMutex
+	nics    map[uint32]*SoftNIC
+	gw      Gateway
+	pool    *ringbuf.BufPool
+	poolCfg PoolConfig
 }
 
-// NewFabric creates an empty fabric.
+// NewFabric creates an empty fabric with DefaultPoolConfig buffer pools.
 func NewFabric() *Fabric {
-	return &Fabric{
-		nics: make(map[uint32]*SoftNIC),
-		pool: ringbuf.NewBufPool(fabricPoolSlots, nil, bufClasses...),
+	f, err := NewFabricPools(DefaultPoolConfig())
+	if err != nil {
+		// DefaultPoolConfig always validates; a failure here is a bug.
+		panic(err)
 	}
+	return f
 }
+
+// NewFabricPools creates an empty fabric whose buffer pools (the shared
+// parent and every per-flow pool of NICs created on it) are sized by cfg.
+func NewFabricPools(cfg PoolConfig) (*Fabric, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{
+		nics:    make(map[uint32]*SoftNIC),
+		pool:    ringbuf.NewBufPool(cfg.FabricSlots, nil, cfg.Classes...),
+		poolCfg: cfg,
+	}, nil
+}
+
+// PoolConfig returns the pool sizing this fabric was created with.
+func (f *Fabric) PoolConfig() PoolConfig { return f.poolCfg }
 
 // Buffers returns the fabric-wide buffer pool, the parent that per-flow
 // pools spill into. Gateways draw frames destined for Inject from here.
@@ -392,7 +471,7 @@ func (f *Fabric) Inject(frame []byte) error {
 	}
 	var flow uint16
 	if m.Kind == wire.KindResponse {
-		flow = m.FlowID % uint16(len(dst.flows))
+		flow = dataplane.ResponseFlow(m.FlowID, len(dst.flows))
 	} else {
 		flow = dst.pickFlow(&m)
 	}
@@ -427,7 +506,7 @@ func (f *Fabric) CreateNIC(addr uint32, nflows, ringDepth int) (*SoftNIC, error)
 		conns: make(map[connKey]uint16),
 	}
 	for i := 0; i < nflows; i++ {
-		n.flows = append(n.flows, newFlow(ringDepth, f.pool))
+		n.flows = append(n.flows, newFlow(ringDepth, f.pool, f.poolCfg))
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()

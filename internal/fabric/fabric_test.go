@@ -452,3 +452,75 @@ func TestFlowIndexBounds(t *testing.T) {
 	}
 	Yield() // exercise the scheduler hint helper
 }
+
+func TestPoolConfigCustomClassBoundary(t *testing.T) {
+	// A two-line frame (128 B) straddles the default ladder's 64/256
+	// boundary and would be served from the 256 B class; a custom ladder
+	// with a 128 B class serves it exactly.
+	cfg := PoolConfig{
+		Classes:     []int{128, 512, wire.MaxFrameSize},
+		FlowSlots:   8,
+		FabricSlots: 16,
+	}
+	f, err := NewFabricPools(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PoolConfig(); len(got.Classes) != 3 || got.Classes[0] != 128 ||
+		got.FlowSlots != 8 || got.FabricSlots != 16 {
+		t.Fatalf("PoolConfig() = %+v, want the custom config back", got)
+	}
+	a, err := f.CreateNIC(1, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.CreateNIC(2, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, wire.FirstLinePayload+1) // first payload size needing two lines
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	m := &wire.Message{
+		Header:  wire.Header{Kind: wire.KindRequest, ConnID: 1, SrcAddr: 1, DstAddr: 2},
+		Payload: payload,
+	}
+	if m.WireSize() != 128 {
+		t.Fatalf("test premise: WireSize = %d, want 128", m.WireSize())
+	}
+	if err := a.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	fl, _ := b.Flow(0)
+	frame, ok := fl.TryRecv()
+	if !ok {
+		t.Fatal("frame not delivered")
+	}
+	if cap(frame) != 128 {
+		t.Fatalf("frame served from a %d B buffer, want the exact 128 B class", cap(frame))
+	}
+	got, _, err := wire.Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != string(payload) {
+		t.Fatal("payload did not round-trip through the custom pool")
+	}
+	fl.Buffers().Put(frame)
+}
+
+func TestPoolConfigRejectsBadLadders(t *testing.T) {
+	cases := []PoolConfig{
+		{Classes: nil, FlowSlots: 8, FabricSlots: 16},
+		{Classes: []int{256, 128, wire.MaxFrameSize}, FlowSlots: 8, FabricSlots: 16},
+		{Classes: []int{64, 256}, FlowSlots: 8, FabricSlots: 16}, // below MaxFrameSize
+		{Classes: []int{64, wire.MaxFrameSize}, FlowSlots: 0, FabricSlots: 16},
+		{Classes: []int{64, wire.MaxFrameSize}, FlowSlots: 8, FabricSlots: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := NewFabricPools(cfg); err == nil {
+			t.Errorf("case %d: NewFabricPools accepted invalid config %+v", i, cfg)
+		}
+	}
+}

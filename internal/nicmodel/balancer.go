@@ -1,42 +1,34 @@
 package nicmodel
 
 import (
-	"fmt"
-	"hash/fnv"
+	"dagger/internal/dataplane"
 )
 
 // BalancerKind selects the load balancing scheme steering incoming RPCs to
 // NIC flows (§4.4.2, §5.7). The choice is soft-configurable per NIC
 // instance; servers specify it when registering connections.
-type BalancerKind int
+//
+// BalancerKind aliases dataplane.Scheme: the steering decision itself lives
+// in internal/dataplane and is shared verbatim with the functional stack's
+// fabric, so the two substrates cannot drift. The zero value is
+// BalancerStatic, matching NewNIC's default soft configuration.
+type BalancerKind = dataplane.Scheme
 
-// Load balancing schemes.
+// Load balancing schemes (aliases kept for API compatibility; see
+// dataplane.Scheme for semantics).
 const (
-	// BalancerUniform distributes incoming RPCs evenly (round-robin) over
-	// flows — "dynamic uniform steering". Right for stateless tiers.
-	BalancerUniform BalancerKind = iota
 	// BalancerStatic steers by the flow recorded in the connection tuple —
 	// "static load balancing": responses return to the flow the request
 	// came from.
-	BalancerStatic
+	BalancerStatic = dataplane.SteerStatic
+	// BalancerUniform distributes incoming RPCs evenly (round-robin) over
+	// flows — "dynamic uniform steering". Right for stateless tiers.
+	BalancerUniform = dataplane.SteerUniform
 	// BalancerObjectLevel hashes the request key to a flow (MICA's
 	// object-level core affinity, implemented on the FPGA for §5.7):
 	// requests for the same key always reach the same partition.
-	BalancerObjectLevel
+	BalancerObjectLevel = dataplane.SteerKeyHash
 )
-
-func (k BalancerKind) String() string {
-	switch k {
-	case BalancerUniform:
-		return "uniform"
-	case BalancerStatic:
-		return "static"
-	case BalancerObjectLevel:
-		return "object-level"
-	default:
-		return fmt.Sprintf("balancer(%d)", int(k))
-	}
-}
 
 // Steer describes one steering decision's inputs.
 type Steer struct {
@@ -44,11 +36,13 @@ type Steer struct {
 	Key      []byte // request key (object-level scheme)
 }
 
-// Balancer steers incoming RPCs to one of NFlows flow FIFOs.
+// Balancer steers incoming RPCs to one of NFlows flow FIFOs. It is a thin
+// stateful shell — the round-robin counter and flow count — around the pure
+// decision functions in internal/dataplane.
 type Balancer struct {
 	kind   BalancerKind
 	nflows int
-	rr     int
+	rr     uint32
 }
 
 // NewBalancer creates a balancer over nflows flows.
@@ -64,18 +58,16 @@ func (b *Balancer) Kind() BalancerKind { return b.kind }
 
 // Pick returns the target flow for one request.
 func (b *Balancer) Pick(s Steer) uint16 {
-	switch b.kind {
-	case BalancerUniform:
-		f := b.rr
-		b.rr = (b.rr + 1) % b.nflows
-		return uint16(f)
-	case BalancerStatic:
-		return s.ConnFlow % uint16(b.nflows)
-	case BalancerObjectLevel:
-		h := fnv.New32a()
-		h.Write(s.Key)
-		return uint16(h.Sum32() % uint32(b.nflows))
-	default:
-		panic("nicmodel: unknown balancer kind")
+	in := dataplane.SteerInput{
+		NFlows:   b.nflows,
+		ConnFlow: s.ConnFlow,
+		HasConn:  true,
+		Key:      s.Key,
+		RR:       b.rr,
 	}
+	f := dataplane.Steer(b.kind, in)
+	if b.kind == dataplane.SteerUniform {
+		b.rr++
+	}
+	return f
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"dagger/internal/dataplane"
 	"dagger/internal/interconnect"
 	"dagger/internal/sim"
 	"dagger/internal/wire"
@@ -81,6 +82,7 @@ type PacketMonitor struct {
 	BytesIn      atomic.Uint64
 	BytesOut     atomic.Uint64
 	Drops        atomic.Uint64
+	Sheds        atomic.Uint64
 	ConnLookups  atomic.Uint64
 	BatchesSent  atomic.Uint64
 	SoftReconfig atomic.Uint64
@@ -172,6 +174,22 @@ func (n *NIC) PipelineDelay(m *wire.Message) sim.Time {
 	occ := n.Timing.PerRPC + sim.Time(m.Lines()-1)*n.Timing.PerExtraLine
 	n.pipeBusyUntil = start + occ
 	return (start - now) + occ + n.Timing.Transit
+}
+
+// ShedExpired is the timing-stack entry into the dataplane shed policy:
+// a simulated request that arrived at arrival carrying budgetMicros of
+// deadline budget (0 = no deadline) is shed — before it occupies a server
+// core — when its budget has expired by the engine's current virtual time.
+// Shed requests are counted in Monitor.Sheds. The decision is the same
+// dataplane.ShouldShed the functional core server uses with wall-clock
+// time, so the parity test can assert identical verdicts.
+func (n *NIC) ShedExpired(arrival sim.Time, budgetMicros uint32) bool {
+	elapsed := dataplane.ElapsedMicros(int64(n.eng.Now() - arrival))
+	if !dataplane.ShouldShed(budgetMicros, elapsed) {
+		return false
+	}
+	n.Monitor.Sheds.Add(1)
+	return true
 }
 
 // TXRingSizeFor computes the paper's TX ring provisioning rule (§4.4):

@@ -1,5 +1,9 @@
 package nicmodel
 
+import (
+	"dagger/internal/dataplane"
+)
+
 // The RX path (Figure 8, §4.4): the NIC's TX FSM places newly received RPC
 // objects into per-flow RX buffers, which accumulate a batch of B requests
 // before handing them to the completion queue (so the RX buffer size is
@@ -44,10 +48,13 @@ func NewRxPath(batch, capEntries int) *RxPath {
 
 // Deliver places one received RPC into the RX buffer. When a full batch has
 // accumulated, it is moved to the pending completion set and ready=true is
-// returned. A full buffer drops the RPC (best-effort).
+// returned. Admission is the dataplane queue policy: a full buffer drops
+// the RPC (dataplane.RxRingOverflow, best-effort delivery).
 func (r *RxPath) Deliver(e RxEntry) (ready bool) {
-	if len(r.buf)+len(r.pending) >= r.cap {
-		r.Dropped++
+	if !dataplane.Admit(len(r.buf)+len(r.pending), r.cap) {
+		if dataplane.DropRefused(dataplane.RxRingOverflow) {
+			r.Dropped++
+		}
 		return false
 	}
 	r.buf = append(r.buf, e)

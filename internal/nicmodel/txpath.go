@@ -2,6 +2,8 @@ package nicmodel
 
 import (
 	"fmt"
+
+	"dagger/internal/dataplane"
 )
 
 // The TX path (Figure 9B): instead of buffering whole RPCs in per-flow
@@ -61,14 +63,18 @@ func (t *TxPath) TableSize() int { return len(t.table) }
 func (t *TxPath) FreeSlots() int { return len(t.free) }
 
 // Enqueue stores an RPC into the request table and pushes its slot
-// reference onto the target flow's FIFO. It returns false when no slot is
-// free (the hardware would exert back-pressure on the RPC unit).
+// reference onto the target flow's FIFO. Admission is the dataplane queue
+// policy: with no free slot the request is refused and stays with the
+// producer (dataplane.TxTableOverflow is backpressure — the hardware
+// asserts back-pressure on the RPC unit — so nothing is dropped here).
 func (t *TxPath) Enqueue(flow uint16, rpcID uint64, data []byte) bool {
 	if int(flow) >= t.nflows {
 		panic(fmt.Sprintf("nicmodel: flow %d out of range (%d flows)", flow, t.nflows))
 	}
-	if len(t.free) == 0 {
-		t.Stalls++
+	if !dataplane.Admit(len(t.table)-len(t.free), len(t.table)) {
+		if !dataplane.DropRefused(dataplane.TxTableOverflow) {
+			t.Stalls++
+		}
 		return false
 	}
 	slot := t.free[0]

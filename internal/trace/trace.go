@@ -33,10 +33,11 @@ type Trace struct {
 
 // Collector accumulates traces; safe for concurrent use.
 type Collector struct {
-	mu     sync.Mutex
-	next   uint64
-	traces []Trace
-	cap    int
+	mu      sync.Mutex
+	next    uint64
+	traces  []Trace
+	cap     int
+	dropped uint64
 }
 
 // NewCollector creates a collector retaining at most capTraces traces
@@ -45,7 +46,10 @@ func NewCollector(capTraces int) *Collector {
 	return &Collector{cap: capTraces}
 }
 
-// Begin starts a new trace and returns its id.
+// Begin starts a new trace and returns its id. Traces beyond the retention
+// cap are not retained (lightweight by design) but are counted: Dropped
+// reports how many, so a truncated profile is never mistaken for a complete
+// one.
 func (c *Collector) Begin() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -53,8 +57,18 @@ func (c *Collector) Begin() uint64 {
 	id := c.next
 	if c.cap == 0 || len(c.traces) < c.cap {
 		c.traces = append(c.traces, Trace{ID: id})
+	} else {
+		c.dropped++
 	}
 	return id
+}
+
+// Dropped returns the number of traces begun after the retention cap filled
+// and therefore not retained.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Record appends a span to trace id. Spans for traces beyond the retention
@@ -71,11 +85,18 @@ func (c *Collector) Record(id uint64, sp Span) {
 
 // Traces returns a snapshot of collected traces.
 func (c *Collector) Traces() []Trace {
+	traces, _ := c.Snapshot()
+	return traces
+}
+
+// Snapshot returns the collected traces together with the count of traces
+// dropped at the retention cap.
+func (c *Collector) Snapshot() ([]Trace, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]Trace, len(c.traces))
 	copy(out, c.traces)
-	return out
+	return out, c.dropped
 }
 
 // ServiceProfile aggregates one service's spans.
@@ -105,6 +126,10 @@ func (p ServiceProfile) MeanQueue() sim.Time {
 // Report is the analyzer output.
 type Report struct {
 	Profiles []ServiceProfile // sorted by TotalBusy descending
+	// Dropped is the number of traces the collector began but did not retain
+	// (retention cap); nonzero means the profile is computed from a prefix
+	// of the request population.
+	Dropped uint64
 }
 
 // Bottleneck returns the service with the largest aggregate busy time.
@@ -122,13 +147,17 @@ func (r Report) String() string {
 		out += fmt.Sprintf("  %-18s spans=%-7d busy(mean)=%-10v queue(mean)=%v\n",
 			p.Service, p.Spans, p.MeanBusy(), p.MeanQueue())
 	}
+	if r.Dropped > 0 {
+		out += fmt.Sprintf("  (truncated: %d traces dropped at the retention cap)\n", r.Dropped)
+	}
 	return out
 }
 
 // Analyze aggregates the collected traces into a bottleneck report.
 func (c *Collector) Analyze() Report {
+	traces, dropped := c.Snapshot()
 	byService := map[string]*ServiceProfile{}
-	for _, tr := range c.Traces() {
+	for _, tr := range traces {
 		for _, sp := range tr.Spans {
 			p := byService[sp.Service]
 			if p == nil {
@@ -140,7 +169,7 @@ func (c *Collector) Analyze() Report {
 			p.TotalQueue += sp.Queue
 		}
 	}
-	var rep Report
+	rep := Report{Dropped: dropped}
 	for _, p := range byService {
 		rep.Profiles = append(rep.Profiles, *p)
 	}

@@ -49,6 +49,40 @@ func TestRetentionCap(t *testing.T) {
 	c.Record(999, Span{Service: "S"})
 }
 
+func TestDroppedCounter(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 10; i++ {
+		id := c.Begin()
+		c.Record(id, Span{Service: "S", Work: 1, End: 1})
+	}
+	if got := c.Dropped(); got != 7 {
+		t.Fatalf("Dropped() = %d, want 7", got)
+	}
+	traces, dropped := c.Snapshot()
+	if len(traces) != 3 || dropped != 7 {
+		t.Fatalf("Snapshot() = %d traces, %d dropped; want 3, 7", len(traces), dropped)
+	}
+	rep := c.Analyze()
+	if rep.Dropped != 7 {
+		t.Fatalf("Report.Dropped = %d, want 7", rep.Dropped)
+	}
+	if !strings.Contains(rep.String(), "7 traces dropped") {
+		t.Fatalf("report does not surface the truncation:\n%s", rep.String())
+	}
+
+	// An unbounded collector never drops.
+	u := NewCollector(0)
+	for i := 0; i < 10; i++ {
+		u.Begin()
+	}
+	if got := u.Dropped(); got != 0 {
+		t.Fatalf("unbounded collector Dropped() = %d, want 0", got)
+	}
+	if rep := u.Analyze(); strings.Contains(rep.String(), "truncated") {
+		t.Fatal("unbounded report mentions truncation")
+	}
+}
+
 func TestEmptyReport(t *testing.T) {
 	c := NewCollector(0)
 	rep := c.Analyze()
