@@ -114,19 +114,22 @@ func main() {
 	}
 	mc := mica.NewClientConn(cli, micaConn)
 
-	// Drive a small Zipfian workload through the MICA port.
+	// Drive a small Zipfian workload through the MICA port, under the same
+	// deadline budget as the IDL section: the ctx deadline rides the wire on
+	// every op, so an overloaded store sheds expired work instead of serving
+	// answers nobody is waiting for.
 	gen := workload.NewKVGenerator(7, workload.Tiny, workload.WriteIntensive, 0.99)
 	sets, gets, hits := 0, 0, 0
 	for i := 0; i < 2000; i++ {
 		op := gen.Next()
 		if op.Op == workload.OpSet {
-			if err := mc.Set(op.Key, op.Value); err != nil {
+			if err := mc.SetContext(ctx, op.Key, op.Value); err != nil {
 				log.Fatal(err)
 			}
 			sets++
 		} else {
 			gets++
-			if _, err := mc.Get(op.Key); err == nil {
+			if _, err := mc.GetContext(ctx, op.Key); err == nil {
 				hits++
 			}
 		}

@@ -77,7 +77,7 @@ func main() {
 	for _, name := range []string{"microservices", "FPGAs", "memory interconnects"} {
 		wg.Add(1)
 		name := name
-		if err := cli.CallAsync(fnGreet, []byte(name), func(resp []byte, err error) {
+		if err := cli.CallAsyncContext(ctx, fnGreet, []byte(name), func(resp []byte, err error) {
 			defer wg.Done()
 			if err != nil {
 				log.Printf("async %s: %v", name, err)

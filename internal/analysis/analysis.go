@@ -45,16 +45,24 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Directives maps functions (from this package and its loaded
+	// dependencies) to their dagger: ownership annotations, so analyzers see
+	// annotations across package boundaries.
+	Directives map[*types.Func]Directive
 
 	diags      []Diagnostic
 	suppressed map[string]map[int]bool // filename -> line -> suppressed
+	ignores    *ignoreTable
 }
 
 // Reportf records a diagnostic at pos unless that line carries a
-// //daggervet:ignore suppression.
+// //daggervet:ignore or // dagger:ignore suppression.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if lines, ok := p.suppressed[position.Filename]; ok && lines[position.Line] {
+		return
+	}
+	if p.ignores.suppress(p.Analyzer.Name, position) {
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
@@ -70,9 +78,12 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 }
 
 // Run applies analyzers to pkg and returns the diagnostics sorted by
-// position.
+// position. After all analyzers have run, stale // dagger:ignore directives
+// — those naming an analyzer in this run that suppressed nothing — are
+// reported as diagnostics themselves, so dead suppressions rot visibly.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
+	ignores := collectIgnores(pkg)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:   a,
@@ -81,7 +92,9 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:      pkg.Files,
 			Pkg:        pkg.Types,
 			Info:       pkg.Info,
+			Directives: pkg.Directives,
 			suppressed: suppressedLines(pkg, a.Name),
+			ignores:    ignores,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
@@ -93,6 +106,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			out = append(out, d)
 		}
 	}
+	out = append(out, ignores.staleDiagnostics(analyzers)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -139,6 +153,114 @@ func suppressedLines(pkg *Package, analyzer string) map[string]map[int]bool {
 				out[pos.Filename][pos.Line+1] = true
 			}
 		}
+	}
+	return out
+}
+
+// An ignoreEntry is one parsed // dagger:ignore directive.
+type ignoreEntry struct {
+	analyzer  string
+	reason    string
+	pos       token.Position
+	used      bool
+	malformed string // non-empty: why the directive could not be parsed
+}
+
+// ignoreTable indexes a package's // dagger:ignore directives by the lines
+// they cover (their own line, plus the line below, matching the legacy
+// //daggervet:ignore behavior).
+type ignoreTable struct {
+	entries []*ignoreEntry
+	byLine  map[string]map[int][]*ignoreEntry
+}
+
+// collectIgnores parses every // dagger:ignore <analyzer> <reason> directive
+// in pkg. The reason is required: an exception with no recorded rationale is
+// reported as malformed rather than honored.
+func collectIgnores(pkg *Package) *ignoreTable {
+	t := &ignoreTable{byLine: make(map[string]map[int][]*ignoreEntry)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "dagger:ignore")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				// A later "//" starts a nested comment (fixtures put their
+				// want expectations there); it is not part of the directive.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				e := &ignoreEntry{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					e.malformed = "missing analyzer name and reason"
+				case len(fields) == 1:
+					e.malformed = "missing reason (write: // dagger:ignore <analyzer> <reason>)"
+				default:
+					e.analyzer = fields[0]
+					e.reason = strings.Join(fields[1:], " ")
+				}
+				t.entries = append(t.entries, e)
+				if t.byLine[e.pos.Filename] == nil {
+					t.byLine[e.pos.Filename] = make(map[int][]*ignoreEntry)
+				}
+				for _, line := range []int{e.pos.Line, e.pos.Line + 1} {
+					t.byLine[e.pos.Filename][line] = append(t.byLine[e.pos.Filename][line], e)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// suppress reports whether a diagnostic from analyzer at position is covered
+// by a directive, marking every covering directive used.
+func (t *ignoreTable) suppress(analyzer string, position token.Position) bool {
+	hit := false
+	for _, e := range t.byLine[position.Filename][position.Line] {
+		if e.malformed == "" && e.analyzer == analyzer {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// staleDiagnostics reports malformed directives and directives that name an
+// analyzer in this run but suppressed nothing. Directives naming analyzers
+// outside the run set are left alone (a single-analyzer run cannot judge
+// them); unused directives for Tests=false analyzers in _test.go files are
+// skipped the same way their diagnostics would be.
+func (t *ignoreTable) staleDiagnostics(analyzers []*Analyzer) []Diagnostic {
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []Diagnostic
+	for _, e := range t.entries {
+		if e.malformed != "" {
+			out = append(out, Diagnostic{
+				Analyzer: "ignore",
+				Pos:      e.pos,
+				Message:  "malformed dagger:ignore directive: " + e.malformed,
+			})
+			continue
+		}
+		a, inRun := byName[e.analyzer]
+		if !inRun || e.used {
+			continue
+		}
+		if !a.Tests && strings.HasSuffix(e.pos.Filename, "_test.go") {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: e.analyzer,
+			Pos:      e.pos,
+			Message:  fmt.Sprintf("unused dagger:ignore suppression: no %s diagnostic here", e.analyzer),
+		})
 	}
 	return out
 }

@@ -69,6 +69,25 @@ func TestErrCheckLiteFixture(t *testing.T) {
 	RunFixture(t, ErrCheckLite, filepath.Join("testdata", "errchecklite"), "dagger/internal/transport/fixture")
 }
 
+func TestBufOwnershipFixture(t *testing.T) {
+	RunFixture(t, BufOwnership, filepath.Join("testdata", "bufownership"), "dagger/internal/core/fixture")
+}
+
+func TestBudgetFlowFixture(t *testing.T) {
+	RunFixture(t, BudgetFlow, filepath.Join("testdata", "budgetflow"), "dagger/internal/core/fixture")
+}
+
+func TestShedCheckFixture(t *testing.T) {
+	RunFixture(t, ShedCheck, filepath.Join("testdata", "shedcheck"), "dagger/internal/core/fixture")
+}
+
+// TestIgnoreFixture pins the // dagger:ignore contract: suppression on the
+// directive's own line and the line below, mandatory reasons, and stale or
+// malformed directives surfacing as diagnostics of their own.
+func TestIgnoreFixture(t *testing.T) {
+	RunFixture(t, ShedCheck, filepath.Join("testdata", "ignore"), "dagger/internal/core/fixture")
+}
+
 // TestAnalyzersScopedOut proves the analyzers stay silent on packages
 // outside their scope: the same violation-riddled fixtures produce no
 // diagnostics when attributed to an unscoped import path.
@@ -81,6 +100,9 @@ func TestAnalyzersScopedOut(t *testing.T) {
 		{LockSafety, "locksafety"},
 		{HotPathAlloc, "hotpathalloc"},
 		{ErrCheckLite, "errchecklite"},
+		{BufOwnership, "bufownership"},
+		{BudgetFlow, "budgetflow"},
+		{ShedCheck, "shedcheck"},
 	}
 	loader, err := sharedLoader()
 	if err != nil {
@@ -142,7 +164,7 @@ func TestRepoClean(t *testing.T) {
 		"../../examples/flight", "../../examples/socialnet",
 		"../../examples/multitenant",
 	}
-	all := []*Analyzer{SimDeterminism, LockSafety, HotPathAlloc, ErrCheckLite}
+	all := []*Analyzer{SimDeterminism, LockSafety, HotPathAlloc, ErrCheckLite, BufOwnership, BudgetFlow, ShedCheck}
 	for _, dir := range dirs {
 		pkgs := []*Package{}
 		pkg, err := loader.Load(dir, "")

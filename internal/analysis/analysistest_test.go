@@ -91,6 +91,13 @@ func checkFixture(t *testing.T, a *Analyzer, pkg *Package) {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				rest, ok := strings.CutPrefix(text, "want ")
 				if !ok {
+					// Directive comments carry their expectation embedded:
+					// "// dagger:ignore foo bar // want `...`".
+					if i := strings.Index(text, "// want "); i >= 0 {
+						rest, ok = text[i+len("// want "):], true
+					}
+				}
+				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())

@@ -1,0 +1,881 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dagger/internal/analysis/flow"
+)
+
+// BufOwnership enforces the pooled-buffer ownership contract documented in
+// internal/fabric: every buffer drawn from a data-path pool (ringbuf.BufPool
+// / wire.BufferPool Get, or a frame produced by wire.MarshalAppend into one)
+// must, on every control-flow path, be released (Put/Release), handed to a
+// function annotated // dagger:transfers-ownership, or escape to an owner
+// the analysis cannot see (stored, returned, captured, or passed to an
+// unannotated call). It is flow-sensitive: facts propagate over the
+// internal/analysis/flow CFG, so a Put on one branch does not excuse a leak
+// on the other.
+//
+// Reported defects:
+//
+//   - leak-on-return: a path reaches a return (or falls off the end of the
+//     function, after defers) while still owning a pooled buffer;
+//   - double release: Put/Release of a buffer already released;
+//   - release or use after a // dagger:transfers-ownership handoff;
+//   - use after release;
+//   - a Get result discarded outright.
+//
+// Inside a function annotated // dagger:transfers-ownership, the named
+// parameters start owned: the body must consume them on every path, which is
+// what makes the annotation a checked contract rather than a comment.
+// Functions annotated // dagger:borrows only read their buffer arguments, so
+// calls to them neither consume nor escape the buffer.
+var BufOwnership = &Analyzer{
+	Name:  "bufownership",
+	Doc:   "pooled data-path buffers must be released or handed off exactly once on every path",
+	Tests: false,
+	Run:   runBufOwnership,
+}
+
+// bufScopes is where the pooled-buffer contract applies: the functional data
+// path. ringbuf and wire are the pool implementations themselves and are
+// excluded — they manipulate raw free-list storage below the contract.
+var bufScopes = []string{
+	"dagger/internal/fabric",
+	"dagger/internal/transport",
+	"dagger/internal/core",
+}
+
+// ownState tracks one buffer's lifecycle as a bitmask; joins union the bits,
+// and checks fire only on pure states so merged paths stay conservative.
+type ownState uint8
+
+const (
+	stOwned    ownState = 1 << iota // held by this function, must be consumed
+	stReleased                      // returned to a pool
+	stMoved                         // ownership handed to an annotated callee
+	stEscaped                       // visible to code the analysis cannot see
+)
+
+// refKey names a tracked reference: a local variable, or a field of a local
+// struct value (field loads through pointers escape instead — the pointee is
+// shared).
+type refKey struct {
+	obj   types.Object
+	field string
+}
+
+// ownFact is the dataflow fact: which references are bound to which
+// allocation sites, and each site's lifecycle state.
+type ownFact struct {
+	bind map[refKey]token.Pos
+	res  map[token.Pos]ownState
+}
+
+func (f ownFact) clone() ownFact {
+	out := ownFact{
+		bind: make(map[refKey]token.Pos, len(f.bind)),
+		res:  make(map[token.Pos]ownState, len(f.res)),
+	}
+	for k, v := range f.bind {
+		out.bind[k] = v
+	}
+	for k, v := range f.res {
+		out.res[k] = v
+	}
+	return out
+}
+
+// ownReporter receives diagnostics during the reporting pass; it is nil
+// during fixpoint iteration.
+type ownReporter func(pos token.Pos, format string, args ...any)
+
+// ownAnalysis analyzes one function body.
+type ownAnalysis struct {
+	pass *Pass
+	// entryParams are parameters owned at entry (transfers-ownership
+	// contract on the analyzed function itself).
+	entryParams []*types.Var
+	rep         ownReporter // nil during Forward, set during Visit replay
+	// Leaks are buffered during the replay and emitted afterwards: a site
+	// leaking through an explicit return is anchored at that return, and only
+	// sites with no return report fall back to the function's closing brace
+	// (the Exit block is visited first, so immediate reporting would anchor
+	// everything there).
+	leakRet  map[token.Pos]token.Pos // alloc site -> first leaking return
+	leakExit map[token.Pos]token.Pos // alloc site -> exit position
+}
+
+func runBufOwnership(pass *Pass) error {
+	if !pathIn(pass.Path, bufScopes...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzeOwnership(pass, fn.Body, ownedParams(pass, fn))
+				}
+			case *ast.FuncLit:
+				analyzeOwnership(pass, fn.Body, nil)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ownedParams returns the parameters the function's own
+// dagger:transfers-ownership annotation obliges it to consume.
+func ownedParams(pass *Pass, decl *ast.FuncDecl) []*types.Var {
+	fn, _ := pass.Info.Defs[decl.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	d, ok := pass.Directives[fn]
+	if !ok || !d.TransfersOwnership {
+		return nil
+	}
+	return coveredParams(fn, d)
+}
+
+// coveredParams resolves which of fn's parameters a transfers-ownership
+// directive covers: the named ones, or every []byte parameter when the
+// directive names none.
+func coveredParams(fn *types.Func, d Directive) []*types.Var {
+	sig := fn.Type().(*types.Signature)
+	var out []*types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if len(d.Params) == 0 {
+			if isByteSlice(p.Type()) {
+				out = append(out, p)
+			}
+			continue
+		}
+		for _, name := range d.Params {
+			if p.Name() == name {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+func analyzeOwnership(pass *Pass, body *ast.BlockStmt, owned []*types.Var) {
+	a := &ownAnalysis{pass: pass, entryParams: owned}
+	g := flow.New(body)
+	r := flow.Forward[ownFact](g, a)
+	if !r.Converged {
+		return
+	}
+	a.leakRet = make(map[token.Pos]token.Pos)
+	a.leakExit = make(map[token.Pos]token.Pos)
+	r.Visit(func(n ast.Node, before ownFact) {
+		a.rep = func(pos token.Pos, format string, args ...any) {
+			pass.Reportf(pos, format, args...)
+		}
+		a.step(n, before)
+		a.rep = nil
+	})
+	for site, pos := range a.leakRet {
+		delete(a.leakExit, site)
+		pass.Reportf(pos, "pooled buffer obtained at line %d leaks: not released or handed off on every path reaching this point",
+			pass.Fset.Position(site).Line)
+	}
+	for site, pos := range a.leakExit {
+		pass.Reportf(pos, "pooled buffer obtained at line %d leaks: not released or handed off on every path reaching this point",
+			pass.Fset.Position(site).Line)
+	}
+}
+
+// --- flow.Analysis implementation ---
+
+func (a *ownAnalysis) Entry() ownFact {
+	f := ownFact{bind: map[refKey]token.Pos{}, res: map[token.Pos]ownState{}}
+	for _, p := range a.entryParams {
+		f.bind[refKey{obj: p}] = p.Pos()
+		f.res[p.Pos()] = stOwned
+	}
+	return f
+}
+
+func (a *ownAnalysis) Transfer(n ast.Node, in ownFact) ownFact {
+	return a.step(n, in)
+}
+
+func (a *ownAnalysis) Join(x, y ownFact) ownFact {
+	out := x.clone()
+	for site, st := range y.res {
+		out.res[site] |= st
+	}
+	for k, site := range y.bind {
+		if cur, ok := out.bind[k]; ok {
+			if cur != site {
+				// The same variable names different buffers on the two
+				// paths: tracking either would misattribute Puts, so stop
+				// tracking both.
+				delete(out.bind, k)
+				out.res[cur] |= stEscaped
+				out.res[site] |= stEscaped
+			}
+			continue
+		}
+		out.bind[k] = site
+	}
+	return out
+}
+
+func (a *ownAnalysis) Equal(x, y ownFact) bool {
+	if len(x.bind) != len(y.bind) || len(x.res) != len(y.res) {
+		return false
+	}
+	for k, v := range x.bind {
+		if w, ok := y.bind[k]; !ok || w != v {
+			return false
+		}
+	}
+	for k, v := range x.res {
+		if w, ok := y.res[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// --- the single statement interpreter, shared by Transfer and the
+// reporting replay ---
+
+func (a *ownAnalysis) step(n ast.Node, in ownFact) ownFact {
+	f := in.clone()
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(n.Lhs, n.Rhs, &f)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, id := range vs.Names {
+					lhs[i] = id
+				}
+				a.assign(lhs, vs.Values, &f)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if key, ok := a.resolveRef(res); ok {
+				a.escape(key, &f)
+			} else {
+				a.effects(res, &f)
+			}
+		}
+		a.checkLeaks(n.Return, &f, false)
+	case *flow.ExitMark:
+		a.checkLeaks(n.Pos(), &f, true)
+	case *ast.ExprStmt:
+		// A naked Get is a buffer nobody can ever release.
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && a.isSource(call) {
+			if a.rep != nil {
+				a.rep(n.Pos(), "pooled buffer from %s is discarded: nothing can release it", callName(call))
+			}
+			for _, arg := range call.Args {
+				a.effects(arg, &f)
+			}
+			return f
+		}
+		a.effects(n.X, &f)
+	case *ast.DeferStmt:
+		a.deferEffects(n.Call, &f)
+	case *ast.GoStmt:
+		a.unknownCall(n.Call, &f)
+	case *ast.SendStmt:
+		a.effects(n.Chan, &f)
+		a.escapeOrUse(n.Value, &f)
+	case *ast.IncDecStmt:
+		a.effects(n.X, &f)
+	case *ast.RangeStmt:
+		a.effects(n.X, &f)
+		if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+			// Range values are fresh views each iteration; drop stale binds.
+			if obj := a.pass.Info.Defs[id]; obj != nil {
+				delete(f.bind, refKey{obj: obj})
+			}
+		}
+	case ast.Expr:
+		a.effects(n, &f)
+	}
+	return f
+}
+
+// assign interprets one (possibly multi-value) assignment.
+func (a *ownAnalysis) assign(lhs, rhs []ast.Expr, f *ownFact) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+		if !ok {
+			a.effects(rhs[0], f)
+			a.clearBinds(lhs, f)
+			return
+		}
+		// Multi-value call: the buffer, if any, is in result 0 (Get,
+		// MarshalAppend) or result 0's annotated field (yields-ownership).
+		if site, field, ok := a.producedBuffer(call, f); ok {
+			a.clearBinds(lhs, f)
+			a.bindTo(lhs[0], field, site, f)
+			return
+		}
+		if a.isBorrowCall(call) {
+			for _, arg := range call.Args {
+				a.effects(arg, f)
+			}
+		} else {
+			a.unknownCall(call, f)
+		}
+		a.clearBinds(lhs, f)
+		return
+	}
+	for i := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		if site, ok := a.evalOwn(rhs[i], f); ok {
+			a.bindTo(lhs[i], "", site, f)
+			continue
+		}
+		if key, ok := a.lhsRef(lhs[i]); ok {
+			a.effects(rhs[i], f)
+			delete(f.bind, key)
+		} else {
+			// Store through a pointer, map, index, or global: the buffer on
+			// the right becomes visible to other code.
+			a.effects(lhs[i], f)
+			a.escapeOrUse(rhs[i], f)
+		}
+	}
+}
+
+// producedBuffer classifies a call that mints or carries a pooled buffer in
+// its first result, returning the allocation site and the field (for
+// yields-ownership directives) the buffer lands in.
+func (a *ownAnalysis) producedBuffer(call *ast.CallExpr, f *ownFact) (site token.Pos, field string, ok bool) {
+	if a.isSource(call) {
+		for _, arg := range call.Args {
+			a.effects(arg, f)
+		}
+		f.res[call.Pos()] = stOwned
+		return call.Pos(), "", true
+	}
+	if a.isPropagator(call) && len(call.Args) > 0 {
+		if site, ok := a.evalOwn(call.Args[0], f); ok {
+			for _, arg := range call.Args[1:] {
+				a.effects(arg, f)
+			}
+			return site, "", true
+		}
+		return 0, "", false
+	}
+	if fn := calleeFunc(a.pass.Info, call); fn != nil {
+		if d, ok := a.pass.Directives[fn]; ok && d.YieldsOwnership {
+			for _, arg := range call.Args {
+				a.effects(arg, f)
+			}
+			f.res[call.Pos()] = stOwned
+			field = ""
+			if len(d.Params) > 0 {
+				field = d.Params[0]
+			}
+			return call.Pos(), field, true
+		}
+	}
+	return 0, "", false
+}
+
+// bindTo binds an assignment target to a buffer site. Blank targets leak the
+// buffer on the spot; unresolvable targets (pointer stores) publish it.
+func (a *ownAnalysis) bindTo(target ast.Expr, field string, site token.Pos, f *ownFact) {
+	if id, ok := ast.Unparen(target).(*ast.Ident); ok && id.Name == "_" {
+		for _, s := range f.bind {
+			if s == site {
+				// `_ = buf`: another reference still owns the buffer.
+				return
+			}
+		}
+		if a.rep != nil && f.res[site]&stEscaped == 0 {
+			a.rep(target.Pos(), "pooled buffer assigned to _ is discarded: nothing can release it")
+		}
+		f.res[site] |= stEscaped
+		return
+	}
+	key, ok := a.lhsRef(target)
+	if !ok {
+		f.res[site] |= stEscaped
+		return
+	}
+	key.field = field
+	f.bind[key] = site
+}
+
+func (a *ownAnalysis) clearBinds(lhs []ast.Expr, f *ownFact) {
+	for _, e := range lhs {
+		key, ok := a.lhsRef(e)
+		if !ok {
+			continue
+		}
+		if key.field != "" {
+			delete(f.bind, key)
+			continue
+		}
+		// Overwriting a struct value drops its field bindings too.
+		for k := range f.bind {
+			if k.obj == key.obj {
+				delete(f.bind, k)
+			}
+		}
+	}
+}
+
+// lhsRef resolves an assignment target to a trackable reference: a local
+// variable, or a field of a local struct value.
+func (a *ownAnalysis) lhsRef(e ast.Expr) (refKey, bool) {
+	return a.refOf(e)
+}
+
+// resolveRef resolves a read expression to a tracked reference, looking
+// through parens and slicings.
+func (a *ownAnalysis) resolveRef(e ast.Expr) (refKey, bool) {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		return a.resolveRef(sl.X)
+	}
+	return a.refOf(e)
+}
+
+func (a *ownAnalysis) refOf(e ast.Expr) (refKey, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := a.pass.Info.ObjectOf(e)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return refKey{obj: obj}, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(e.X).(*ast.Ident)
+		if !ok {
+			return refKey{}, false
+		}
+		obj := a.pass.Info.ObjectOf(base)
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return refKey{}, false
+		}
+		// Only fields of struct *values* stay private to this function;
+		// through a pointer the pointee is shared state.
+		if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+			return refKey{}, false
+		}
+		return refKey{obj: obj, field: e.Sel.Name}, true
+	}
+	return refKey{}, false
+}
+
+// evalOwn resolves an expression to an existing or newly-minted buffer site.
+func (a *ownAnalysis) evalOwn(e ast.Expr, f *ownFact) (token.Pos, bool) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				a.effects(idx, f)
+			}
+		}
+		return a.evalOwn(e.X, f)
+	case *ast.Ident, *ast.SelectorExpr:
+		if key, ok := a.resolveRef(e); ok {
+			if site, bound := f.bind[key]; bound {
+				return site, true
+			}
+		}
+	case *ast.CallExpr:
+		if site, field, ok := a.producedBuffer(e, f); ok && field == "" {
+			return site, true
+		}
+	}
+	return 0, false
+}
+
+// --- call classification ---
+
+func inDagger(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil &&
+		(fn.Pkg().Path() == "dagger" || strings.HasPrefix(fn.Pkg().Path(), "dagger/"))
+}
+
+// isSource reports a pool Get: a dagger method named Get with signature
+// func(int) []byte (ringbuf.BufPool, wire.BufferPool, and fixtures).
+func (a *ownAnalysis) isSource(call *ast.CallExpr) bool {
+	fn := calleeFunc(a.pass.Info, call)
+	if !inDagger(fn) || fn.Name() != "Get" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+		isByteSlice(sig.Results().At(0).Type())
+}
+
+// isRelease reports a pool repayment: a dagger func/method named Put or
+// Release taking exactly one []byte.
+func (a *ownAnalysis) isRelease(call *ast.CallExpr) bool {
+	fn := calleeFunc(a.pass.Info, call)
+	if !inDagger(fn) || (fn.Name() != "Put" && fn.Name() != "Release") {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && isByteSlice(sig.Params().At(0).Type())
+}
+
+// isPropagator reports wire.MarshalAppend: the result aliases (and extends)
+// the buffer passed as the first argument.
+func (a *ownAnalysis) isPropagator(call *ast.CallExpr) bool {
+	fn := calleeFunc(a.pass.Info, call)
+	return inDagger(fn) && fn.Name() == "MarshalAppend"
+}
+
+func (a *ownAnalysis) isBorrowCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(a.pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	d, ok := a.pass.Directives[fn]
+	return ok && d.Borrows
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// --- effects: the expression walker ---
+
+// effects applies an expression's ownership effects: release/handoff calls
+// change state, unknown calls and stores publish buffers, reads check for
+// use-after-release.
+func (a *ownAnalysis) effects(e ast.Expr, f *ownFact) {
+	if e == nil {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		a.call(e, f)
+	case *ast.FuncLit:
+		a.escapeCaptured(e, f)
+	case *ast.Ident:
+		a.useCheck(e, f)
+	case *ast.SelectorExpr:
+		if _, ok := a.refOf(e); ok {
+			a.useCheck(e, f)
+			return
+		}
+		a.effects(e.X, f)
+	case *ast.SliceExpr:
+		a.useCheck(e, f)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			a.effects(idx, f)
+		}
+	case *ast.IndexExpr:
+		a.effects(e.X, f)
+		a.effects(e.Index, f)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			a.escapeOrUse(e.X, f)
+			return
+		}
+		a.effects(e.X, f)
+	case *ast.StarExpr:
+		a.effects(e.X, f)
+	case *ast.BinaryExpr:
+		a.effects(e.X, f)
+		a.effects(e.Y, f)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			a.escapeOrUse(elt, f)
+		}
+	case *ast.TypeAssertExpr:
+		a.effects(e.X, f)
+	case *ast.KeyValueExpr:
+		a.effects(e.Key, f)
+		a.effects(e.Value, f)
+	}
+}
+
+// useCheck flags reads of buffers that are gone.
+func (a *ownAnalysis) useCheck(e ast.Expr, f *ownFact) {
+	key, ok := a.resolveRef(e)
+	if !ok {
+		return
+	}
+	site, bound := f.bind[key]
+	if !bound || a.rep == nil {
+		return
+	}
+	switch f.res[site] {
+	case stReleased:
+		a.rep(e.Pos(), "use of %s after it was released to the pool", refName(e))
+	case stMoved:
+		a.rep(e.Pos(), "use of %s after ownership was handed off", refName(e))
+	}
+}
+
+func refName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return base.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	case *ast.SliceExpr:
+		return refName(e.X)
+	}
+	return "buffer"
+}
+
+// escapeOrUse publishes a tracked buffer (store, send, capture, composite);
+// untrackable expressions get plain effects.
+func (a *ownAnalysis) escapeOrUse(e ast.Expr, f *ownFact) {
+	if key, ok := a.resolveRef(e); ok {
+		a.useCheck(e, f)
+		a.escape(key, f)
+		return
+	}
+	a.effects(e, f)
+}
+
+// escape marks a reference's buffer (and, for a bare variable, every field
+// buffer it carries) as visible to unknown code.
+func (a *ownAnalysis) escape(key refKey, f *ownFact) {
+	if key.field == "" {
+		for k, site := range f.bind {
+			if k.obj == key.obj {
+				f.res[site] |= stEscaped
+			}
+		}
+		return
+	}
+	if site, ok := f.bind[key]; ok {
+		f.res[site] |= stEscaped
+	}
+}
+
+// escapeCaptured escapes every tracked variable a function literal captures.
+func (a *ownAnalysis) escapeCaptured(lit *ast.FuncLit, f *ownFact) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := a.pass.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		a.escape(refKey{obj: obj}, f)
+		return true
+	})
+}
+
+// call classifies and applies one call expression.
+func (a *ownAnalysis) call(call *ast.CallExpr, f *ownFact) {
+	// Type conversions copy; arguments are plain reads.
+	if tv, ok := a.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, arg := range call.Args {
+			a.effects(arg, f)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := a.pass.Info.ObjectOf(id).(*types.Builtin); ok {
+			a.builtin(b.Name(), call, f)
+			return
+		}
+	}
+	if a.isRelease(call) && len(call.Args) == 1 {
+		a.release(call, f)
+		return
+	}
+	if a.isSource(call) || a.isPropagator(call) || a.isBorrowCall(call) {
+		// In expression position a fresh Get escapes into its consumer;
+		// propagator and borrow arguments are plain reads.
+		for _, arg := range call.Args {
+			a.effects(arg, f)
+		}
+		return
+	}
+	if fn := calleeFunc(a.pass.Info, call); fn != nil {
+		if d, ok := a.pass.Directives[fn]; ok && d.TransfersOwnership {
+			a.handoff(call, fn, d, f)
+			return
+		}
+	}
+	a.unknownCall(call, f)
+}
+
+func (a *ownAnalysis) builtin(name string, call *ast.CallExpr, f *ownFact) {
+	switch name {
+	case "append":
+		// append may retain or reallocate its arguments' backing arrays.
+		for _, arg := range call.Args {
+			a.escapeOrUse(arg, f)
+		}
+	default: // len, cap, copy, min, max, print, println, ...
+		for _, arg := range call.Args {
+			a.effects(arg, f)
+		}
+	}
+}
+
+// release applies a Put/Release call.
+func (a *ownAnalysis) release(call *ast.CallExpr, f *ownFact) {
+	arg := call.Args[0]
+	key, ok := a.resolveRef(arg)
+	if !ok {
+		a.effects(arg, f)
+		return
+	}
+	site, bound := f.bind[key]
+	if !bound {
+		return
+	}
+	switch f.res[site] {
+	case stReleased:
+		if a.rep != nil {
+			a.rep(call.Pos(), "double release of %s: the buffer was already returned to the pool", refName(arg))
+		}
+	case stMoved:
+		if a.rep != nil {
+			a.rep(call.Pos(), "release of %s after ownership was handed off", refName(arg))
+		}
+	}
+	if f.res[site]&stEscaped == 0 {
+		f.res[site] = stReleased
+	}
+}
+
+// handoff applies a call to a dagger:transfers-ownership function.
+func (a *ownAnalysis) handoff(call *ast.CallExpr, fn *types.Func, d Directive, f *ownFact) {
+	covered := coveredParams(fn, d)
+	sig := fn.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		var param *types.Var
+		if i < sig.Params().Len() {
+			param = sig.Params().At(i)
+		}
+		owned := false
+		for _, p := range covered {
+			if p == param {
+				owned = true
+			}
+		}
+		if !owned {
+			a.effects(arg, f)
+			continue
+		}
+		key, ok := a.resolveRef(arg)
+		if !ok {
+			a.effects(arg, f)
+			continue
+		}
+		site, bound := f.bind[key]
+		if !bound {
+			continue
+		}
+		switch f.res[site] {
+		case stReleased:
+			if a.rep != nil {
+				a.rep(call.Pos(), "%s handed to %s after it was released to the pool", refName(arg), fn.Name())
+			}
+		case stMoved:
+			if a.rep != nil {
+				a.rep(call.Pos(), "%s handed to %s after ownership was already handed off", refName(arg), fn.Name())
+			}
+		}
+		if f.res[site]&stEscaped == 0 {
+			f.res[site] = stMoved
+		}
+	}
+}
+
+// unknownCall escapes every tracked argument (and receiver): the callee may
+// retain or release the buffer, so this function's obligation ends.
+func (a *ownAnalysis) unknownCall(call *ast.CallExpr, f *ownFact) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if key, ok := a.resolveRef(sel.X); ok {
+			a.escape(key, f)
+		} else {
+			a.effects(sel.X, f)
+		}
+	} else {
+		a.effects(call.Fun, f)
+	}
+	for _, arg := range call.Args {
+		a.escapeOrUse(arg, f)
+	}
+}
+
+// deferEffects handles `defer call`: a deferred Put covers the buffer on
+// every path (the Exit block replays the defer), so it is neither a leak nor
+// double-released by later analysis; other deferred calls escape their
+// arguments.
+func (a *ownAnalysis) deferEffects(call *ast.CallExpr, f *ownFact) {
+	if a.isRelease(call) && len(call.Args) == 1 {
+		if key, ok := a.resolveRef(call.Args[0]); ok {
+			a.escape(key, f)
+			return
+		}
+	}
+	a.unknownCall(call, f)
+}
+
+// checkLeaks records buffers still owned when a path leaves the function;
+// analyzeOwnership emits them once the whole body has been replayed.
+func (a *ownAnalysis) checkLeaks(pos token.Pos, f *ownFact, exit bool) {
+	if a.rep == nil {
+		return
+	}
+	for site, st := range f.res {
+		// Owned on at least one path and never visible to anyone who could
+		// release it: some path leaks. Escape clears the obligation.
+		if st&stOwned == 0 || st&stEscaped != 0 {
+			continue
+		}
+		m := a.leakRet
+		if exit {
+			m = a.leakExit
+		}
+		if _, seen := m[site]; !seen {
+			m[site] = pos
+		}
+	}
+}

@@ -46,6 +46,35 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Directives is the loader's accumulated dagger: annotation registry,
+	// covering this package and every module-local package loaded so far
+	// (including dependencies), so callers of an annotated function see its
+	// contract across package boundaries.
+	Directives map[*types.Func]Directive
+}
+
+// A Directive is a dagger: ownership annotation in a function declaration's
+// doc comment. Exactly one of TransfersOwnership, Borrows or YieldsOwnership
+// is set.
+type Directive struct {
+	// TransfersOwnership: "// dagger:transfers-ownership [param ...]" — the
+	// function takes ownership of the named []byte parameters (all []byte
+	// parameters when none are named) on every path, success or failure.
+	// Callers must not use or release the buffer afterwards; the function
+	// body must release or hand off the buffer on every path.
+	TransfersOwnership bool
+	// Borrows: "// dagger:borrows" — the function only reads its buffer
+	// arguments and retains no reference; callers keep ownership.
+	Borrows bool
+	// YieldsOwnership: "// dagger:yields-ownership [Field]" — the function's
+	// first result carries a pooled buffer the caller now owns; when Field is
+	// given, the buffer is that field of the (struct) result rather than the
+	// result itself.
+	YieldsOwnership bool
+	// Params names the parameters a transfers-ownership directive covers
+	// (empty means every []byte parameter), or holds the single field name of
+	// a yields-ownership directive.
+	Params []string
 }
 
 // Loader loads packages from source and type-checks them without any
@@ -66,8 +95,9 @@ type Loader struct {
 	// without their tests.
 	IncludeTests bool
 
-	mu   sync.Mutex
-	deps map[string]*types.Package
+	mu         sync.Mutex
+	deps       map[string]*types.Package
+	directives map[*types.Func]Directive
 }
 
 // NewLoader creates a loader rooted at the Go module containing dir.
@@ -86,6 +116,7 @@ func NewLoader(dir string) (*Loader, error) {
 		modulePath: modPath,
 		fset:       token.NewFileSet(),
 		deps:       make(map[string]*types.Package),
+		directives: make(map[*types.Func]Directive),
 	}, nil
 }
 
@@ -196,14 +227,54 @@ func (l *Loader) check(asPath, dir string, files []*ast.File) (*Package, error) 
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", asPath, err)
 	}
+	l.collectDirectives(files, info.Defs)
 	return &Package{
-		Path:  asPath,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:       asPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Directives: l.directives,
 	}, nil
+}
+
+// collectDirectives records the dagger: annotations on the function
+// declarations in files into the loader-wide registry.
+func (l *Loader) collectDirectives(files []*ast.File, defs map[*ast.Ident]types.Object) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var d Directive
+			found := false
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if rest, ok := strings.CutPrefix(text, "dagger:transfers-ownership"); ok {
+					d.TransfersOwnership = true
+					d.Params = strings.Fields(rest)
+					found = true
+				} else if text == "dagger:borrows" {
+					d.Borrows = true
+					found = true
+				} else if rest, ok := strings.CutPrefix(text, "dagger:yields-ownership"); ok {
+					d.YieldsOwnership = true
+					d.Params = strings.Fields(rest)
+					found = true
+				}
+			}
+			if !found {
+				continue
+			}
+			if fn, ok := defs[fd.Name].(*types.Func); ok {
+				l.directives[fn] = d
+			}
+		}
+	}
 }
 
 // importDir resolves dir's build info, tolerating test-only directories
@@ -279,9 +350,20 @@ func (imp *depImporter) Import(path string) (*types.Package, error) {
 		IgnoreFuncBodies: true,
 		FakeImportC:      true,
 	}
-	pkg, err := conf.Check(path, l.fset, files, nil)
+	// Module-local dependencies keep their Defs so dagger: annotations on
+	// their functions (e.g. fabric.Inject's transfers-ownership contract)
+	// are visible when analyzing packages that call them.
+	var info *types.Info
+	local := path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")
+	if local {
+		info = &types.Info{Defs: make(map[*ast.Ident]types.Object)}
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking dependency %s: %w", path, err)
+	}
+	if local {
+		l.collectDirectives(files, info.Defs)
 	}
 	l.mu.Lock()
 	l.deps[path] = pkg

@@ -1,0 +1,161 @@
+// Package fixture exercises the budgetflow analyzer: contexts that carry a
+// deadline budget (named ctx parameters, context.WithTimeout/WithDeadline
+// derivations) must be threaded to downstream RPC calls rather than replaced
+// by fresh root contexts.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// client mimics the RPC client shape: a budget-less method with a
+// Context-suffixed sibling.
+type client struct{}
+
+func (client) Call(req []byte) ([]byte, error) { return req, nil }
+
+func (client) CallContext(ctx context.Context, req []byte) ([]byte, error) {
+	_ = ctx
+	return req, nil
+}
+
+// Ping has no Context sibling, so calling it with a live budget is fine: no
+// budget-carrying variant exists.
+func (client) Ping() {}
+
+func sink(ctx context.Context) { _ = ctx }
+
+func freshCtx() context.Context { return context.TODO() }
+
+// --- clean shapes ---
+
+// entryTier mints root contexts freely: no context parameter, no live budget.
+// This is where budgets are born.
+func entryTier(c client) {
+	_, _ = c.Call(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, _ = c.CallContext(ctx, nil)
+}
+
+// threaded passes the caller's budget along; nothing to report.
+func threaded(ctx context.Context, c client) error {
+	_, err := c.CallContext(ctx, nil)
+	return err
+}
+
+// blankParam is a visible, deliberate opt-out at the signature: only named
+// context parameters carry the obligation.
+func blankParam(_ context.Context, c client) {
+	_, _ = c.Call(nil)
+}
+
+// noSibling: a live budget plus a method with no Context variant is clean.
+func noSibling(ctx context.Context, c client) {
+	c.Ping()
+	_, _ = c.CallContext(ctx, nil)
+}
+
+// flowSensitive: the budget is only live on the branch that threads it; the
+// other path never sees a deadline, so its budget-less call is clean.
+func flowSensitive(c client, shed bool) {
+	if shed {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_, _ = c.CallContext(ctx, nil)
+		return
+	}
+	_, _ = c.Call(nil)
+}
+
+// overwritten: once ctx is rebound to a budget-less context the obligation
+// ends.
+func overwritten(c client) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, _ = c.CallContext(ctx, nil)
+	ctx = freshCtx()
+	_, _ = c.Call(nil)
+	sink(ctx)
+}
+
+// derived: WithCancel/WithValue inherit the parent's budget, and threading
+// the derivation is as good as threading the original.
+func derived(ctx context.Context, c client) {
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_, _ = c.CallContext(inner, nil)
+}
+
+// reRoot: Background() as the parent of a context.With* derivation is a
+// legitimate root-budget mint even while another budget is live — deadlines
+// for unrelated work are allowed to start fresh.
+func reRoot(c client) {
+	ctx1, cancel1 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel1()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	_, _ = c.CallContext(ctx1, nil)
+	_, _ = c.CallContext(ctx2, nil)
+}
+
+// loopThreaded: the budget stays live across iterations; threading it every
+// time converges clean.
+func loopThreaded(ctx context.Context, c client) {
+	for i := 0; i < 3; i++ {
+		_, _ = c.CallContext(ctx, nil)
+	}
+}
+
+// --- violations ---
+
+// launder receives a budget and mints a fresh root instead of deriving from
+// it.
+func launder(ctx context.Context, c client) error {
+	fresh := context.Background() // want `launder already receives a context; context\.Background\(\) discards the caller's deadline budget \(derive from the ctx parameter instead\)`
+	_, err := c.CallContext(fresh, nil)
+	_ = ctx
+	return err
+}
+
+// launderTODO: TODO() is the same laundering with a different name.
+func launderTODO(ctx context.Context, c client) error {
+	fresh := context.TODO() // want `launderTODO already receives a context; context\.TODO\(\) discards the caller's deadline budget \(derive from the ctx parameter instead\)`
+	_, err := c.CallContext(fresh, nil)
+	_ = ctx
+	return err
+}
+
+// nakedBackground passes a root context along while a budget is live.
+func nakedBackground(c client) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	sink(context.Background()) // want `context\.Background\(\) passed along while budget context "ctx" is live; pass "ctx" so the deadline propagates`
+	_, _ = c.CallContext(ctx, nil)
+}
+
+// dropSibling calls the budget-less method while a budget is live and a
+// Context-suffixed variant exists.
+func dropSibling(ctx context.Context, c client) {
+	_, _ = c.Call(nil) // want `Call drops the deadline budget carried by "ctx"; use CallContext so downstream tiers can shed expired work`
+	sink(ctx)
+}
+
+// dropSiblingLocal: the live budget can also be a local derivation.
+func dropSiblingLocal(c client) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, _ = c.Call(nil) // want `Call drops the deadline budget carried by "ctx"; use CallContext so downstream tiers can shed expired work`
+	sink(ctx)
+}
+
+// launderInLiteral: function literals are analyzed on their own; a ctx
+// parameter on the literal carries the same obligation.
+func launderInLiteral(c client) func(context.Context) {
+	return func(ctx context.Context) {
+		fresh := context.Background() // want `func literal already receives a context; context\.Background\(\) discards the caller's deadline budget \(derive from the ctx parameter instead\)`
+		_, _ = c.CallContext(fresh, nil)
+		_ = ctx
+	}
+}

@@ -1,0 +1,201 @@
+// Package fixture exercises the bufownership analyzer: pooled buffers must
+// be released or handed off exactly once on every control-flow path.
+package fixture
+
+import "errors"
+
+var errFail = errors.New("fail")
+
+// pool mimics ringbuf.BufPool's shape: a dagger-internal Get(int) []byte
+// source and Put([]byte) release.
+type pool struct{}
+
+func (pool) Get(n int) []byte { return make([]byte, n) }
+func (pool) Put(b []byte)     {}
+
+var p pool
+
+// sink takes the buffer on every path.
+//
+// dagger:transfers-ownership b
+func sink(b []byte) {
+	p.Put(b)
+}
+
+// peek only reads the buffer; the caller keeps ownership.
+//
+// dagger:borrows
+func peek(b []byte) int { return len(b) }
+
+type msg struct{ Payload []byte }
+
+// produce mints a pooled buffer into the Payload field of its result.
+//
+// dagger:yields-ownership Payload
+func produce(n int) (msg, bool) {
+	return msg{Payload: p.Get(n)}, true
+}
+
+func use(b []byte) {}
+
+// --- clean shapes: no diagnostics ---
+
+func releaseOK() {
+	b := p.Get(64)
+	p.Put(b)
+}
+
+func deferOK(c bool) error {
+	b := p.Get(64)
+	defer p.Put(b)
+	if c {
+		return errFail
+	}
+	return nil
+}
+
+func branchMergeOK(c bool) {
+	b := p.Get(64)
+	if c {
+		p.Put(b)
+	} else {
+		sink(b)
+	}
+}
+
+func borrowThenPutOK() {
+	b := p.Get(16)
+	n := peek(b)
+	_ = n
+	p.Put(b)
+}
+
+func escapeToUnknownOK() {
+	b := p.Get(16)
+	use(b)
+}
+
+type holder struct{ buf []byte }
+
+func escapeToFieldOK(h *holder) {
+	b := p.Get(64)
+	h.buf = b
+}
+
+func goroutineCaptureOK() {
+	b := p.Get(16)
+	go func() { p.Put(b) }()
+}
+
+func loopOK(n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get(32)
+		p.Put(b)
+	}
+}
+
+func yieldsOK() {
+	m, _ := produce(8)
+	p.Put(m.Payload)
+}
+
+// --- leaks ---
+
+func leakOnErrPath(fail bool) error {
+	b := p.Get(64)
+	if fail {
+		return errFail // want `pooled buffer obtained at line \d+ leaks`
+	}
+	p.Put(b)
+	return nil
+}
+
+func leakPartialPut(c bool) {
+	b := p.Get(64)
+	if c {
+		p.Put(b)
+	}
+} // want `pooled buffer obtained at line \d+ leaks`
+
+func leakInLoop(n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get(32)
+		if b[0] == 0 {
+			continue
+		}
+		p.Put(b)
+	}
+} // want `pooled buffer obtained at line \d+ leaks`
+
+func leakAfterBorrow() int {
+	b := p.Get(16)
+	return peek(b) // want `pooled buffer obtained at line \d+ leaks`
+}
+
+func leakYields(c bool) {
+	m, _ := produce(8)
+	if c {
+		return // want `pooled buffer obtained at line \d+ leaks`
+	}
+	p.Put(m.Payload)
+}
+
+// badSink promises to consume b but drops it on one path.
+//
+// dagger:transfers-ownership b
+func badSink(b []byte, drop bool) {
+	if drop {
+		return // want `pooled buffer obtained at line \d+ leaks`
+	}
+	p.Put(b)
+}
+
+// --- double release / handoff misuse ---
+
+func doubleRelease() {
+	b := p.Get(64)
+	p.Put(b)
+	p.Put(b) // want `double release of b`
+}
+
+func releaseAfterHandoff() {
+	b := p.Get(64)
+	sink(b)
+	p.Put(b) // want `release of b after ownership was handed off`
+}
+
+func doubleHandoff() {
+	b := p.Get(64)
+	sink(b)
+	sink(b) // want `b handed to sink after ownership was already handed off`
+}
+
+// --- use after the buffer is gone ---
+
+func useAfterRelease() byte {
+	b := p.Get(64)
+	p.Put(b)
+	return b[0] // want `use of b after it was released to the pool`
+}
+
+func useAfterHandoff() byte {
+	b := p.Get(64)
+	sink(b)
+	return b[0] // want `use of b after ownership was handed off`
+}
+
+func useAfterReleaseField() byte {
+	m, _ := produce(8)
+	p.Put(m.Payload)
+	return m.Payload[0] // want `use of m\.Payload after it was released to the pool`
+}
+
+// --- discarded buffers ---
+
+func discardedResult() {
+	p.Get(64) // want `pooled buffer from Get is discarded`
+}
+
+func discardedBlank() {
+	_ = p.Get(64) // want `pooled buffer assigned to _ is discarded`
+}

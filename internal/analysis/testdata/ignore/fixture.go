@@ -1,0 +1,57 @@
+// Package fixture exercises the // dagger:ignore suppression directive,
+// using shedcheck as the target analyzer. A directive names the analyzer it
+// silences and must record a reason; it covers its own line and the line
+// below. Directives that suppress nothing are themselves diagnosed so stale
+// exceptions cannot accumulate.
+package fixture
+
+// ShouldShed mimics the dataplane policy entry point so shedcheck has
+// something to diagnose.
+func ShouldShed(budget, elapsed uint32) bool { return budget > 0 && elapsed > budget }
+
+// suppressedNextLine: the directive on its own line silences the diagnostic
+// on the line below; no want expectation because no diagnostic escapes.
+func suppressedNextLine(budget, elapsed uint32) {
+	// dagger:ignore shedcheck the verdict is deliberately dropped in this demo
+	ShouldShed(budget, elapsed)
+}
+
+// suppressedSameLine: a trailing directive covers its own line.
+func suppressedSameLine(budget, elapsed uint32) {
+	ShouldShed(budget, elapsed) // dagger:ignore shedcheck demo of same-line suppression
+}
+
+// unusedSuppression: the directive names shedcheck but the covered lines are
+// clean, so the suppression itself is diagnosed.
+func unusedSuppression(budget, elapsed uint32) bool {
+	// dagger:ignore shedcheck nothing wrong here // want `unused dagger:ignore suppression: no shedcheck diagnostic here`
+	return ShouldShed(budget, elapsed)
+}
+
+// otherAnalyzer: a directive naming an analyzer outside this run is left
+// alone — a single-analyzer run cannot judge it.
+func otherAnalyzer(budget, elapsed uint32) bool {
+	// dagger:ignore bufownership verdict buffers are not pooled here
+	return ShouldShed(budget, elapsed)
+}
+
+// wrongAnalyzerDoesNotSuppress: naming the wrong analyzer leaves the real
+// diagnostic standing (and in a run including bufownership the directive
+// would be reported unused).
+func wrongAnalyzerDoesNotSuppress(budget, elapsed uint32) {
+	// dagger:ignore bufownership misdirected exception
+	ShouldShed(budget, elapsed) // want `shed verdict from ShouldShed is discarded: the policy ran but nothing acts on it`
+}
+
+// malformedMissingReason: a suppression with no recorded rationale is not
+// honored — the diagnostic below still fires and the directive is reported.
+func malformedMissingReason(budget, elapsed uint32) {
+	// dagger:ignore shedcheck // want `malformed dagger:ignore directive: missing reason \(write: // dagger:ignore <analyzer> <reason>\)`
+	ShouldShed(budget, elapsed) // want `shed verdict from ShouldShed is discarded: the policy ran but nothing acts on it`
+}
+
+// malformedEmpty: a bare directive is rejected outright.
+func malformedEmpty(budget, elapsed uint32) {
+	// dagger:ignore // want `malformed dagger:ignore directive: missing analyzer name and reason`
+	ShouldShed(budget, elapsed) // want `shed verdict from ShouldShed is discarded: the policy ran but nothing acts on it`
+}

@@ -1,0 +1,90 @@
+// Package fixture exercises the shedcheck analyzer: shed verdicts must be
+// consulted — computing whether a request's budget expired and then
+// dispatching (or dropping the answer) silently re-introduces the doomed
+// work the policy exists to prevent.
+package fixture
+
+// ShouldShed mimics the dataplane policy entry point: a bool-returning
+// verdict function.
+func ShouldShed(budget, elapsed uint32) bool { return budget > 0 && elapsed > budget }
+
+// ShedDecision mimics the functional substrate's wrapper.
+func ShedDecision(received, execStart int64, budget uint32) bool {
+	return ShouldShed(budget, uint32(execStart-received))
+}
+
+// Handler is the server's request-dispatch shape: calling a Handler value
+// executes the request.
+type Handler func(req []byte) []byte
+
+// verdictSink stands in for storing a verdict somewhere another component
+// reads it.
+var verdictSink bool
+
+// --- clean shapes ---
+
+// consultedInline branches on the verdict directly; nothing is ever pending.
+func consultedInline(h Handler, budget, elapsed uint32) []byte {
+	if ShouldShed(budget, elapsed) {
+		return nil
+	}
+	return h(nil)
+}
+
+// boundThenBranched consults the bound verdict before dispatching.
+func boundThenBranched(h Handler, budget, elapsed uint32) []byte {
+	drop := ShouldShed(budget, elapsed)
+	if drop {
+		return nil
+	}
+	return h(nil)
+}
+
+// consultedInSwitch mirrors the real server: the verdict is a switch case.
+func consultedInSwitch(h Handler, received, execStart int64, budget uint32) []byte {
+	switch {
+	case ShedDecision(received, execStart, budget):
+		return nil
+	default:
+		return h(nil)
+	}
+}
+
+// passedAlong hands the verdict to another function, which counts as
+// consulting it — someone downstream acts on it.
+func record(v bool) { verdictSink = v }
+
+func passedAlong(budget, elapsed uint32) {
+	v := ShouldShed(budget, elapsed)
+	record(v)
+}
+
+// --- violations ---
+
+// discarded runs the policy as a bare statement: nothing can act on it.
+func discarded(budget, elapsed uint32) {
+	ShouldShed(budget, elapsed) // want `shed verdict from ShouldShed is discarded: the policy ran but nothing acts on it`
+}
+
+// discardedBlank assigns the verdict to _, which is the same discard.
+func discardedBlank(received, execStart int64, budget uint32) {
+	_ = ShedDecision(received, execStart, budget) // want `shed verdict from ShedDecision is discarded: the policy ran but nothing acts on it`
+}
+
+// dispatchWhilePending executes the request before anyone looks at the
+// verdict: the shed policy ran for nothing.
+func dispatchWhilePending(h Handler, budget, elapsed uint32) []byte {
+	drop := ShouldShed(budget, elapsed)
+	out := h(nil) // want `request dispatched to handler while the shed verdict from line \d+ is still unexamined`
+	if drop {
+		return nil
+	}
+	return out
+}
+
+// neverExamined computes the verdict and leaves the function without ever
+// reading it.
+func neverExamined(budget, elapsed uint32) (verdict bool) {
+	verdict = ShouldShed(budget, elapsed)
+	return // want `shed verdict computed at line \d+ is never examined`
+}

@@ -439,9 +439,13 @@ func (c *RpcClient) recvLoop() {
 		if !ok {
 			return
 		}
-		m, ok, err := reassemble(ras, c.flowID, frame)
+		m, ok, err := reassemble(ras, pool, c.flowID, frame)
 		pool.Put(frame)
 		if err != nil || !ok {
+			// No completed message; m is zero and Put(nil) is loan-neutral,
+			// so repaying unconditionally keeps the ownership contract
+			// uniform on every continue path.
+			pool.Put(m.Payload)
 			continue
 		}
 		if m.Kind != wire.KindResponse {
@@ -505,17 +509,35 @@ const (
 // reassemble feeds one delivered frame's cache lines through the software
 // reassembler, returning the completed message if the frame's last line
 // finishes an RPC. The frame is fully consumed: the caller may recycle it
-// as soon as reassemble returns.
-func reassemble(ras *wire.Reassembler, flowID uint16, frame []byte) (wire.Message, bool, error) {
+// as soon as reassemble returns. On true, the returned message's Payload is
+// a pooled buffer the caller owns and must repay to pool.
+//
+// A frame normally carries exactly one marshalled message, but a malformed
+// or batched frame can complete a message and then keep going; any earlier
+// completed payload is repaid here so no path leaks a pool loan.
+//
+// dagger:yields-ownership Payload
+func reassemble(ras *wire.Reassembler, pool wire.BufferPool, flowID uint16, frame []byte) (wire.Message, bool, error) {
 	var (
 		m    wire.Message
 		done bool
-		err  error
 	)
 	for off := 0; off+wire.CacheLineSize <= len(frame); off += wire.CacheLineSize {
-		m, done, err = ras.AddLine(flowID, frame[off:off+wire.CacheLineSize])
+		next, completed, err := ras.AddLine(flowID, frame[off:off+wire.CacheLineSize])
 		if err != nil {
+			if done {
+				pool.Put(m.Payload)
+			}
 			return wire.Message{}, false, err
+		}
+		if completed {
+			if done {
+				// Two messages completed in one frame: only the last is
+				// delivered (the frame was malformed batching), but the
+				// earlier payload's loan must still be repaid.
+				pool.Put(m.Payload)
+			}
+			m, done = next, true
 		}
 	}
 	return m, done, nil

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dagger/internal/fabric"
+	"dagger/internal/ringbuf"
+	"dagger/internal/wire"
+)
+
+// Regression tests for pooled-buffer ownership on the RPC receive path. Each
+// pins a leak found by the bufownership dataflow analyzer: every pooled
+// payload loan must be repaid on every path, which the tests assert through
+// the pool's Get/Put loan counters.
+
+func ownershipPool() *ringbuf.BufPool {
+	return ringbuf.NewBufPool(8, nil, wire.MaxFrameSize)
+}
+
+// TestReassembleMultiMessageRepaysPool covers the malformed-batching path:
+// when one frame completes two messages, only the last is delivered but the
+// earlier payload's pool loan must still be repaid inside reassemble.
+func TestReassembleMultiMessageRepaysPool(t *testing.T) {
+	pool := ownershipPool()
+	ras := wire.NewReassemblerPool(pool)
+
+	first := &wire.Message{
+		Header:  wire.Header{Kind: wire.KindRequest, RPCID: 1},
+		Payload: []byte("first"),
+	}
+	second := &wire.Message{
+		Header:  wire.Header{Kind: wire.KindRequest, RPCID: 2},
+		Payload: []byte("second"),
+	}
+	frame, err := wire.MarshalAppend(nil, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err = wire.MarshalAppend(frame, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, ok, err := reassemble(ras, pool, 0, frame)
+	if err != nil || !ok {
+		t.Fatalf("reassemble: ok=%v err=%v, want completed message", ok, err)
+	}
+	if m.RPCID != 2 || !bytes.Equal(m.Payload, []byte("second")) {
+		t.Fatalf("reassemble delivered RPCID=%d payload=%q, want the last message", m.RPCID, m.Payload)
+	}
+	// Repay the delivered payload, as the dispatch loop does once it is done.
+	pool.Put(m.Payload)
+	if gets, puts := pool.Loans(); gets != puts {
+		t.Fatalf("pool loans unbalanced after multi-message frame: gets=%d puts=%d", gets, puts)
+	}
+}
+
+// TestReassembleErrorAfterCompletedRepaysPool covers the error-after-done
+// path: a frame whose first message completes and whose trailing line is
+// garbage must repay the completed payload's loan before returning the error.
+func TestReassembleErrorAfterCompletedRepaysPool(t *testing.T) {
+	pool := ownershipPool()
+	ras := wire.NewReassemblerPool(pool)
+
+	msg := &wire.Message{
+		Header:  wire.Header{Kind: wire.KindRequest, RPCID: 7},
+		Payload: []byte("payload"),
+	}
+	frame, err := wire.MarshalAppend(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zeroed trailing line fails ParseHeader (bad magic) after the first
+	// message already completed and minted a pooled payload.
+	frame = append(frame, make([]byte, wire.CacheLineSize)...)
+
+	m, ok, err := reassemble(ras, pool, 0, frame)
+	if err == nil || ok {
+		t.Fatalf("reassemble: ok=%v err=%v, want error and no message", ok, err)
+	}
+	if m.Payload != nil {
+		t.Fatalf("reassemble returned payload %q alongside error", m.Payload)
+	}
+	// Mirror the call sites, which Put the (nil) payload unconditionally on
+	// the continue path; Put(nil) must be loan-neutral.
+	pool.Put(m.Payload)
+	if gets, puts := pool.Loans(); gets != puts {
+		t.Fatalf("pool loans unbalanced after error mid-frame: gets=%d puts=%d", gets, puts)
+	}
+}
+
+// TestStopDrainsWorkerQueue covers the shutdown path of the WorkerThreads
+// model: requests parked in the dispatch->worker queue when Stop is called
+// still hold payload loans, which Stop must drain and repay so the server's
+// flow pool balances.
+func TestStopDrainsWorkerQueue(t *testing.T) {
+	fab := fabric.NewFabric()
+	clientNIC, err := fab.CreateNIC(0x0A000001, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverNIC, err := fab.CreateNIC(0x0A000002, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewRpcThreadedServer(serverNIC, ServerConfig{
+		Threading:   WorkerThreads,
+		Workers:     1,
+		WorkerQueue: 8,
+	})
+	var entered atomic.Int32
+	err = srv.Register(0, "block", func(ctx context.Context, req []byte) ([]byte, error) {
+		entered.Add(1)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := NewRpcClient(clientNIC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.OpenConnection(0x0A000002); err != nil {
+		t.Fatal(err)
+	}
+
+	// One request occupies the single worker (blocked in the handler); the
+	// rest pile up in the worker queue.
+	const requests = 4
+	for i := 0; i < requests; i++ {
+		if err := cli.CallAsync(0, []byte("ping"), func([]byte, error) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for entered.Load() < 1 || len(srv.work) < requests-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: entered=%d queued=%d", entered.Load(), len(srv.work))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stop cancels the blocked handler, stops the worker and dispatch
+	// threads, and must repay the loans of every request still parked in the
+	// queue.
+	srv.Stop()
+
+	fl, err := serverNIC.Flow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gets, puts := fl.Buffers().Loans(); gets != puts {
+		t.Fatalf("server flow pool unbalanced after Stop: gets=%d puts=%d", gets, puts)
+	}
+}

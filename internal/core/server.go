@@ -215,6 +215,19 @@ func (s *RpcThreadedServer) Stop() {
 		close(s.stop)
 	}
 	s.wg.Wait()
+	// All dispatch and worker threads have exited, but requests they parked
+	// in the worker queue still hold payload-buffer loans; drain and repay
+	// them so a stopped server leaves its flow pools balanced.
+	if s.work != nil {
+		for {
+			select {
+			case item := <-s.work:
+				item.t.flow.Buffers().Put(item.m.Payload)
+			default:
+				return
+			}
+		}
+	}
 }
 
 func (s *RpcThreadedServer) dispatchLoop(t *RpcServerThread) {
@@ -226,9 +239,13 @@ func (s *RpcThreadedServer) dispatchLoop(t *RpcServerThread) {
 		if !ok {
 			return
 		}
-		m, ok, err := reassemble(ras, t.flowID, frame)
+		m, ok, err := reassemble(ras, pool, t.flowID, frame)
 		pool.Put(frame)
 		if err != nil || !ok {
+			// No completed message; m is zero and Put(nil) is loan-neutral,
+			// so repaying unconditionally keeps the ownership contract
+			// uniform on every continue path.
+			pool.Put(m.Payload)
 			continue
 		}
 		if m.Kind != wire.KindRequest {
@@ -244,6 +261,9 @@ func (s *RpcThreadedServer) dispatchLoop(t *RpcServerThread) {
 			select {
 			case s.work <- workItem{t: t, m: m, received: received, deadline: deadline}:
 			case <-s.stop:
+				// Shutdown raced the enqueue: the request payload is still
+				// this loop's loan, so repay it before exiting.
+				pool.Put(m.Payload)
 				return
 			}
 			continue

@@ -458,6 +458,8 @@ func (f *Fabric) gateway() Gateway {
 // the local destination NIC, applying the same steering as local sends.
 // Inject takes ownership of frame on every path: it is either delivered to
 // a ring (and recycled by the consumer) or returned to a buffer pool.
+//
+// dagger:transfers-ownership frame
 func (f *Fabric) Inject(frame []byte) error {
 	m, _, err := wire.Unmarshal(frame)
 	if err != nil {

@@ -182,7 +182,10 @@ func ParseHeader(buf []byte) (Header, error) {
 }
 
 // Unmarshal decodes one frame from buf, returning the message, the number of
-// bytes consumed, and an error. The returned payload aliases buf.
+// bytes consumed, and an error. The returned payload aliases buf; Unmarshal
+// itself retains nothing and the caller keeps ownership of buf.
+//
+// dagger:borrows
 func Unmarshal(buf []byte) (Message, int, error) {
 	if len(buf) < CacheLineSize {
 		return Message{}, 0, ErrShortBuffer
