@@ -81,6 +81,13 @@ func TestShedCheckFixture(t *testing.T) {
 	RunFixture(t, ShedCheck, filepath.Join("testdata", "shedcheck"), "dagger/internal/core/fixture")
 }
 
+// TestCongestionCheckFixture pins the congestion half of shedcheck: a
+// dataplane Mark verdict is subject to the same consult-before-dispatch
+// contract as shed verdicts, with congestion-specific wording.
+func TestCongestionCheckFixture(t *testing.T) {
+	RunFixture(t, ShedCheck, filepath.Join("testdata", "congestioncheck"), "dagger/internal/dataplane/fixture")
+}
+
 // TestIgnoreFixture pins the // dagger:ignore contract: suppression on the
 // directive's own line and the line below, mandatory reasons, and stale or
 // malformed directives surfacing as diagnostics of their own.
@@ -103,6 +110,7 @@ func TestAnalyzersScopedOut(t *testing.T) {
 		{BufOwnership, "bufownership"},
 		{BudgetFlow, "budgetflow"},
 		{ShedCheck, "shedcheck"},
+		{ShedCheck, "congestioncheck"},
 	}
 	loader, err := sharedLoader()
 	if err != nil {

@@ -8,11 +8,13 @@ import (
 	"dagger/internal/analysis/flow"
 )
 
-// ShedCheck enforces that shed verdicts are acted on. dataplane.ShouldShed
+// ShedCheck enforces that dataplane verdicts are acted on. dataplane.ShouldShed
 // (and its substrate entry points, core.ShedDecision and friends) decide
-// whether a request's deadline budget has expired; computing the verdict and
-// then dispatching the request anyway silently re-introduces the doomed work
-// the shed policy exists to prevent.
+// whether a request's deadline budget has expired; dataplane.Mark decides
+// whether a queue admission must carry an ECN-style congestion stamp.
+// Computing either verdict and then ignoring it silently re-introduces the
+// failure the policy exists to prevent: doomed work dispatched anyway, or a
+// congested queue that never tells its clients to back off.
 //
 // The analysis tracks verdict-producing calls flow-sensitively over the
 // internal/analysis/flow CFG. A verdict bound to a local variable is
@@ -23,24 +25,27 @@ import (
 //     statement or assigned to _): the policy ran but nothing can act on it;
 //   - a handler dispatch — calling a value of a dagger Handler function type
 //     — while a verdict is still pending: the request is executed before the
-//     shed decision is consulted;
+//     decision is consulted;
 //   - a path leaving the function with a verdict still pending: the decision
 //     was computed but never examined.
 var ShedCheck = &Analyzer{
 	Name:  "shedcheck",
-	Doc:   "shed verdicts must be consulted before dispatching the request",
+	Doc:   "shed and congestion verdicts must be consulted, not dropped",
 	Tests: false,
 	Run:   runShedCheck,
 }
 
-// shedScopes is everywhere the shed policy is consulted: the functional
-// server, the timing models, and the policy layer itself.
+// shedScopes is everywhere the shed and congestion policies are consulted:
+// the functional server and fabric, the timing models, the experiments
+// driving them, and the policy layer itself.
 var shedScopes = []string{
 	"dagger/internal/core",
 	"dagger/internal/dataplane",
+	"dagger/internal/fabric",
 	"dagger/internal/nicmodel",
 	"dagger/internal/microsim",
 	"dagger/internal/overload",
+	"dagger/internal/experiments",
 }
 
 // shedFact maps local variables holding an unconsulted shed verdict to the
@@ -54,6 +59,9 @@ type shedAnalysis struct {
 	// pendingAtExit collects verdicts alive at returns/exit for one report
 	// per producing call.
 	pendingAtExit map[token.Pos]token.Pos // producing call -> exit position
+	// kindAt remembers which policy produced the verdict at a call position
+	// ("shed" or "congestion"), for kind-aware diagnostics.
+	kindAt map[token.Pos]string
 }
 
 func runShedCheck(pass *Pass) error {
@@ -81,6 +89,7 @@ func analyzeShed(pass *Pass, body *ast.BlockStmt) {
 		pass:          pass,
 		reported:      make(map[token.Pos]bool),
 		pendingAtExit: make(map[token.Pos]token.Pos),
+		kindAt:        make(map[token.Pos]string),
 	}
 	g := flow.New(body)
 	r := flow.Forward[shedFact](g, a)
@@ -98,19 +107,39 @@ func analyzeShed(pass *Pass, body *ast.BlockStmt) {
 		a.rep = nil
 	})
 	for site, pos := range a.pendingAtExit {
-		pass.Reportf(pos, "shed verdict computed at line %d is never examined",
-			pass.Fset.Position(site).Line)
+		pass.Reportf(pos, "%s verdict computed at line %d is never examined",
+			a.kind(site), pass.Fset.Position(site).Line)
 	}
 }
 
-// isVerdictCall reports a call to a dagger shed-policy entry point: a
-// bool-returning function named ShouldShed or ShedDecision.
+// kind returns the policy kind recorded for the verdict call at site.
+func (a *shedAnalysis) kind(site token.Pos) string {
+	if k := a.kindAt[site]; k != "" {
+		return k
+	}
+	return "shed"
+}
+
+// isVerdictCall reports a call to a dagger policy entry point whose bool
+// result demands action: the shed policy (ShouldShed, ShedDecision) anywhere
+// under dagger, and the congestion mark policy (Mark) in the dataplane
+// package — the name is too generic to match repo-wide. The producing call's
+// kind is recorded for diagnostics.
 func (a *shedAnalysis) isVerdictCall(call *ast.CallExpr) bool {
 	fn := calleeFunc(a.pass.Info, call)
 	if fn == nil || !inDagger(fn) {
 		return false
 	}
-	if fn.Name() != "ShouldShed" && fn.Name() != "ShedDecision" {
+	var kind string
+	switch fn.Name() {
+	case "ShouldShed", "ShedDecision":
+		kind = "shed"
+	case "Mark":
+		if fn.Pkg() == nil || !pathIn(fn.Pkg().Path(), "dagger/internal/dataplane") {
+			return false
+		}
+		kind = "congestion"
+	default:
 		return false
 	}
 	sig := fn.Type().(*types.Signature)
@@ -118,7 +147,11 @@ func (a *shedAnalysis) isVerdictCall(call *ast.CallExpr) bool {
 		return false
 	}
 	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
-	return ok && basic.Kind() == types.Bool
+	if !ok || basic.Kind() != types.Bool {
+		return false
+	}
+	a.kindAt[call.Pos()] = kind
+	return true
 }
 
 // isHandlerDispatch reports a call through a value whose type is a dagger
@@ -231,7 +264,8 @@ func (a *shedAnalysis) scan(n ast.Node, before shedFact) {
 	switch n := n.(type) {
 	case *ast.ExprStmt:
 		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && a.isVerdictCall(call) {
-			a.rep(call.Pos(), "shed verdict from %s is discarded: the policy ran but nothing acts on it", callName(call))
+			a.rep(call.Pos(), "%s verdict from %s is discarded: the policy ran but nothing acts on it",
+				a.kind(call.Pos()), callName(call))
 			return
 		}
 	case *ast.AssignStmt:
@@ -244,7 +278,8 @@ func (a *shedAnalysis) scan(n ast.Node, before shedFact) {
 					}
 				}
 				if allBlank {
-					a.rep(call.Pos(), "shed verdict from %s is discarded: the policy ran but nothing acts on it", callName(call))
+					a.rep(call.Pos(), "%s verdict from %s is discarded: the policy ran but nothing acts on it",
+						a.kind(call.Pos()), callName(call))
 					return
 				}
 			}
@@ -261,8 +296,8 @@ func (a *shedAnalysis) scan(n ast.Node, before shedFact) {
 		}
 		if a.isHandlerDispatch(call) {
 			if site, live := a.anyPending(before); live {
-				a.rep(call.Pos(), "request dispatched to handler while the shed verdict from line %d is still unexamined",
-					a.pass.Fset.Position(site).Line)
+				a.rep(call.Pos(), "request dispatched to handler while the %s verdict from line %d is still unexamined",
+					a.kind(site), a.pass.Fset.Position(site).Line)
 			}
 		}
 		return true

@@ -1,0 +1,90 @@
+// Package fixture exercises the shedcheck analyzer's congestion-verdict
+// matching: dataplane.Mark decides whether a queue admission must carry an
+// ECN-style congestion stamp, and computing the verdict without acting on it
+// leaves a congested queue that never tells its clients to back off. The
+// fixture loads as dagger/internal/dataplane/fixture, so the local Mark
+// matches the analyzer's dataplane-scoped name check.
+package fixture
+
+// Mark mimics the dataplane congestion policy entry point: a bool-returning
+// mark decision over queue occupancy.
+func Mark(depth, capacity int) bool { return capacity > 0 && 2*depth >= capacity }
+
+// OccupancyHint mimics the hint quantizer that rides with a set mark.
+func OccupancyHint(depth, capacity int) uint8 {
+	if capacity <= 0 || depth <= 0 {
+		return 0
+	}
+	if depth >= capacity {
+		return 255
+	}
+	return uint8((255*depth + capacity/2) / capacity)
+}
+
+// Handler is the server's request-dispatch shape: calling a Handler value
+// executes the request.
+type Handler func(req []byte) []byte
+
+// markSink stands in for stamping the verdict into a frame header.
+var markSink bool
+
+// --- clean shapes ---
+
+// consultedInline stamps at admission exactly like the fabric and the
+// nicmodel RX/TX paths: the verdict is the branch condition.
+func consultedInline(depth, capacity int) uint8 {
+	if Mark(depth, capacity) {
+		return OccupancyHint(depth, capacity)
+	}
+	return 0
+}
+
+// boundThenStamped binds the verdict and consults it before anything else
+// happens — the TX-table idiom.
+func boundThenStamped(depth, capacity int) (hint uint8) {
+	marked := Mark(depth, capacity)
+	if marked {
+		hint = OccupancyHint(depth, capacity)
+	}
+	return hint
+}
+
+// passedAlong hands the verdict to another component, which counts as
+// consulting it.
+func stamp(v bool) { markSink = v }
+
+func passedAlong(depth, capacity int) {
+	v := Mark(depth, capacity)
+	stamp(v)
+}
+
+// --- violations ---
+
+// discarded runs the mark policy as a bare statement: the queue measured its
+// occupancy and then told nobody.
+func discarded(depth, capacity int) {
+	Mark(depth, capacity) // want `congestion verdict from Mark is discarded: the policy ran but nothing acts on it`
+}
+
+// discardedBlank assigns the verdict to _, the same discard.
+func discardedBlank(depth, capacity int) {
+	_ = Mark(depth, capacity) // want `congestion verdict from Mark is discarded: the policy ran but nothing acts on it`
+}
+
+// dispatchWhilePending executes the request before anyone looks at the mark:
+// the congestion signal is computed but the frame ships unstamped.
+func dispatchWhilePending(h Handler, depth, capacity int) []byte {
+	marked := Mark(depth, capacity)
+	out := h(nil) // want `request dispatched to handler while the congestion verdict from line \d+ is still unexamined`
+	if marked {
+		return nil
+	}
+	return out
+}
+
+// neverExamined computes the verdict and leaves the function without ever
+// reading it.
+func neverExamined(depth, capacity int) (marked bool) {
+	marked = Mark(depth, capacity)
+	return // want `congestion verdict computed at line \d+ is never examined`
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dagger/internal/dataplane"
 	"dagger/internal/fabric"
 	"dagger/internal/wire"
 )
@@ -29,6 +30,11 @@ var (
 	// the handler because its deadline budget had already expired. The
 	// handler did not run, so shed requests are always safe to retry.
 	ErrShed = errors.New("core: request shed at server (budget expired)")
+	// ErrCongested reports that the connection's congestion window is full:
+	// recent responses carried congestion marks and the AIMD reaction has
+	// capped the in-flight count. The request was never sent, so it is
+	// always safe to retry (CallRetry does, with scaled backoff).
+	ErrCongested = errors.New("core: connection congestion window full")
 	// errNoConn is a sentinel: the issue path is allocation-free, so it
 	// must not mint a fresh error per call.
 	errNoConn = errors.New("core: no open connection")
@@ -43,6 +49,7 @@ const DefaultTimeout = 5 * time.Second
 // across RPCs without reallocating the channel.
 type call struct {
 	id   uint64
+	conn uint32 // connection the call was issued on (congestion accounting)
 	sync bool
 	done chan struct{}
 	cb   func([]byte, error)
@@ -83,6 +90,7 @@ type RpcClient struct {
 
 	mu      sync.Mutex
 	conns   map[uint32]uint32 // connID -> destination address
+	cong    map[uint32]*connCongestion
 	nextRPC uint64
 	pending map[uint64]*call
 
@@ -98,6 +106,65 @@ type RpcClient struct {
 	Completed atomic.Uint64
 	TimedOut  atomic.Uint64
 	Canceled  atomic.Uint64
+	// Marks counts responses that arrived carrying a congestion mark;
+	// Refused counts issues rejected client-side by a full congestion
+	// window (ErrCongested — the request never reached the NIC).
+	Marks   atomic.Uint64
+	Refused atomic.Uint64
+}
+
+// connCongestion is one connection's view of the congestion control loop:
+// an AIMD in-flight window driven by the ECN-style marks echoed in
+// responses. All fields are guarded by RpcClient.mu. The window starts at
+// dataplane.DefaultMaxWindow, far above any bounded ring, so the loop is
+// inert until a queue actually reports congestion.
+type connCongestion struct {
+	window   int    // current in-flight cap
+	inflight int    // calls issued and not yet completed or abandoned
+	epoch    uint64 // halve at most once per window: marks with RPCID <= epoch are absorbed
+	marks    uint64 // responses that carried a congestion mark
+	cleans   uint64 // responses that did not
+	lastHint uint8  // occupancy hint from the most recent marked response (0 after a clean one)
+}
+
+// CongestionState is a read-only snapshot of one connection's control loop,
+// surfaced for callers that adapt offered load or for tests and experiments.
+type CongestionState struct {
+	Window   int
+	InFlight int
+	Marks    uint64
+	Cleans   uint64
+	LastHint uint8
+}
+
+// Congestion reports connID's congestion-control state; ok is false if the
+// connection is not open.
+func (c *RpcClient) Congestion(connID uint32) (CongestionState, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cc := c.cong[connID]
+	if cc == nil {
+		return CongestionState{}, false
+	}
+	return CongestionState{
+		Window:   cc.window,
+		InFlight: cc.inflight,
+		Marks:    cc.marks,
+		Cleans:   cc.cleans,
+		LastHint: cc.lastHint,
+	}, true
+}
+
+// backoffScale maps connID's most recent congestion hint to the integer
+// backoff multiplier the retry helpers apply (1 when the connection is not
+// congested or not open).
+func (c *RpcClient) backoffScale(connID uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc := c.cong[connID]; cc != nil {
+		return dataplane.BackoffScale(cc.lastHint)
+	}
+	return 1
 }
 
 // NewRpcClient binds a client to flow flowID of nic. Each flow should back
@@ -114,6 +181,7 @@ func NewRpcClient(nic *fabric.SoftNIC, flowID int) (*RpcClient, error) {
 		flow:    fl,
 		cq:      NewCompletionQueue(),
 		conns:   make(map[uint32]uint32),
+		cong:    make(map[uint32]*connCongestion),
 		pending: make(map[uint64]*call),
 		stop:    make(chan struct{}),
 	}
@@ -159,6 +227,7 @@ func (c *RpcClient) OpenConnection(dstAddr uint32) (uint32, error) {
 		id += 256
 	}
 	c.conns[id] = dstAddr
+	c.cong[id] = &connCongestion{window: dataplane.DefaultMaxWindow}
 	if !c.hasConn {
 		c.defaultConn = id
 		c.hasConn = true
@@ -176,6 +245,7 @@ func (c *RpcClient) CloseConnection(id uint32) error {
 		return fmt.Errorf("core: connection %d not open", id)
 	}
 	delete(c.conns, id)
+	delete(c.cong, id)
 	if c.defaultConn == id {
 		c.hasConn = false
 		for rest := range c.conns {
@@ -362,10 +432,23 @@ func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, budget uint32,
 		c.mu.Unlock()
 		return nil, fmt.Errorf("core: connection %d not open", connID)
 	}
+	cc := c.cong[connID]
+	if cc != nil && cc.inflight >= cc.window {
+		// AIMD window full: refuse locally instead of piling onto a queue
+		// that just told us it is congested. Nothing was sent, so the
+		// caller (typically CallRetry) can back off and try again.
+		c.mu.Unlock()
+		c.Refused.Add(1)
+		return nil, ErrCongested
+	}
+	if cc != nil {
+		cc.inflight++
+	}
 	c.nextRPC++
 	id := c.nextRPC
 	cl := callPool.Get().(*call)
 	cl.id = id
+	cl.conn = connID
 	cl.sync = sync
 	cl.cb = cb
 	c.pending[id] = cl
@@ -404,6 +487,12 @@ func (c *RpcClient) abandon(cl *call) bool {
 	defer c.mu.Unlock()
 	if cur, ok := c.pending[cl.id]; ok && cur == cl {
 		delete(c.pending, cl.id)
+		// The call will never complete through the receive path, so its
+		// congestion-window slot frees here. Whoever removes the pending
+		// entry — this abandon or the receive path — decrements exactly once.
+		if cc := c.cong[cl.conn]; cc != nil && cc.inflight > 0 {
+			cc.inflight--
+		}
 		return true
 	}
 	return false
@@ -417,6 +506,7 @@ func (c *RpcClient) release(cl *call) {
 	default:
 	}
 	cl.id = 0
+	cl.conn = 0
 	cl.sync = false
 	cl.cb = nil
 	cl.resp = nil
@@ -456,11 +546,15 @@ func (c *RpcClient) recvLoop() {
 		cl, ok := c.pending[m.RPCID]
 		if ok {
 			delete(c.pending, m.RPCID)
+			c.noteCompletionLocked(cl.conn, &m.Header)
 		}
 		c.mu.Unlock()
 		if !ok {
 			pool.Put(m.Payload) // late response after timeout
 			continue
+		}
+		if m.Congested() {
+			c.Marks.Add(1)
 		}
 		var resp []byte
 		var rerr error
@@ -487,6 +581,33 @@ func (c *RpcClient) recvLoop() {
 			cl.cb(resp, rerr)
 		}
 		c.release(cl)
+	}
+}
+
+// noteCompletionLocked applies one response's congestion signal to its
+// connection's AIMD state. Callers hold c.mu. A marked response halves the
+// window at most once per in-flight window (the epoch guard: marks on calls
+// issued before the last decrease are echoes of the same congestion event);
+// a clean response grows it by one and clears the backoff hint.
+func (c *RpcClient) noteCompletionLocked(connID uint32, h *wire.Header) {
+	cc := c.cong[connID]
+	if cc == nil {
+		return
+	}
+	if cc.inflight > 0 {
+		cc.inflight--
+	}
+	if h.Congested() {
+		cc.marks++
+		cc.lastHint = h.Occupancy
+		if h.RPCID > cc.epoch {
+			cc.window = dataplane.WindowOnMark(cc.window, dataplane.DefaultMinWindow)
+			cc.epoch = c.nextRPC
+		}
+	} else {
+		cc.cleans++
+		cc.lastHint = 0
+		cc.window = dataplane.WindowOnClean(cc.window, dataplane.DefaultMaxWindow)
 	}
 }
 

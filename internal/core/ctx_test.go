@@ -472,6 +472,7 @@ func TestRetryableClassification(t *testing.T) {
 	}{
 		{ErrShed, true},
 		{fabric.ErrRingFull, true},
+		{ErrCongested, true},
 		{ErrTimeout, false},
 		{ErrRemote, false},
 		{context.Canceled, false},

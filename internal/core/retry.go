@@ -12,9 +12,11 @@ import (
 // Retryable reports whether an RPC error is safe to retry: the request
 // provably did not execute, so a retry cannot duplicate side effects. Shed
 // requests never reached a handler; ring-full send failures never left the
-// client. Timeouts are NOT retryable — the handler may have run.
+// client; congestion-window refusals were never sent at all. Timeouts are
+// NOT retryable — the handler may have run.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrShed) || errors.Is(err, fabric.ErrRingFull)
+	return errors.Is(err, ErrShed) || errors.Is(err, fabric.ErrRingFull) ||
+		errors.Is(err, ErrCongested)
 }
 
 // CallRetry issues a blocking RPC on the default connection, retrying safe
@@ -42,7 +44,10 @@ func (c *RpcClient) CallConnRetry(ctx context.Context, p retry.Policy, connID ui
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			d, ok := p.NextDelay(attempt, remainingBudget(ctx))
+			// The connection's last congestion hint scales the backoff:
+			// a congested peer gets multiplicatively more breathing room
+			// than the uncongested schedule would give it.
+			d, ok := p.NextDelayScaled(attempt, remainingBudget(ctx), c.backoffScale(connID))
 			if !ok {
 				return nil, errors.Join(retry.ErrBudgetExhausted, lastErr)
 			}

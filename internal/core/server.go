@@ -303,9 +303,17 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 			DstAddr: m.SrcAddr,
 		},
 	}
+	// ECN echo: a congestion mark stamped on the request (by any queue on
+	// its way here) is reflected into the response, hint included, so the
+	// client's control loop hears about server-side pressure. The response
+	// can additionally pick up a fresh mark at the client's own RX ring.
+	if m.Congested() {
+		resp.Flags |= wire.FlagCongested
+		resp.Occupancy = m.Occupancy
+	}
 	switch {
 	case !ok:
-		resp.Flags = flagError
+		resp.Flags |= flagError
 		resp.Payload = []byte(ErrNoFn.Error())
 		s.Errors.Add(1)
 	case ShedDecision(received, execStart, m.Budget):
@@ -313,7 +321,7 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 		// invoking the handler — the caller already gave up, so any work
 		// here would be doomed (the tail-amplification the budget exists
 		// to prevent).
-		resp.Flags = flagShed
+		resp.Flags |= flagShed
 		s.Shed.Add(1)
 		_ = s.nic.Send(&resp)
 		t.flow.Buffers().Put(m.Payload)
@@ -328,7 +336,7 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 			defer cancel()
 		}
 		if out, err := h(ctx, m.Payload); err != nil {
-			resp.Flags = flagError
+			resp.Flags |= flagError
 			resp.Payload = []byte(err.Error())
 			s.Errors.Add(1)
 		} else {
@@ -356,6 +364,7 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 			Queue:   sim.Time(execStart.Sub(received)),
 			Work:    sim.Time(time.Since(execStart)),
 			End:     sim.Time(time.Since(s.start)),
+			Marked:  m.Congested(),
 		})
 	}
 }

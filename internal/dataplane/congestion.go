@@ -1,0 +1,102 @@
+package dataplane
+
+// Congestion marking and reaction: the closed-loop half of the dataplane
+// policy. Queues on the data path (fabric flow rings, the nicmodel RX ring
+// and TX table, microsim tier queues) call Mark as they admit an item; when
+// occupancy has crossed the mark threshold the frame is stamped with an
+// ECN-style congestion-experienced bit plus a one-byte occupancy hint. The
+// server echoes the stamp into its response, and the client reacts: an
+// AIMD-style in-flight window (WindowOnMark / WindowOnClean) plus a backoff
+// scale for the retry policy (BackoffScale). Like every decision in this
+// package the functions are pure, integer-only, and allocation-free, so both
+// substrates reach byte-identical mark decisions from the same inputs.
+
+// MarkHint is the smallest occupancy hint that encodes a congested queue.
+// OccupancyHint quantizes depth/capacity onto [0, 255] such that
+// HintCongested(OccupancyHint(d, c)) == Mark(d, c) exactly.
+const MarkHint uint8 = 128
+
+// Default AIMD window bounds for clients that do not configure their own.
+// The max is deliberately far above any bounded ring on the data path: an
+// unmarked connection behaves as if no window existed at all, so enabling
+// the control loop is inert until a queue actually reports congestion.
+const (
+	DefaultMinWindow = 1
+	DefaultMaxWindow = 1 << 16
+)
+
+// Mark is the congestion-mark decision for a bounded queue: an item admitted
+// when the queue already holds depth items is marked once occupancy has
+// reached half of capacity (2*depth >= capacity). capacity <= 0 means the
+// queue is unbounded and never marks; negative depth never marks.
+//
+// Half-capacity marking fires well before the queue's Admit/Overflow policy
+// engages, which is the point: the client hears about pressure while there
+// is still room to react, instead of discovering it via drops.
+func Mark(depth, capacity int) bool {
+	return capacity > 0 && depth >= 0 && 2*depth >= capacity
+}
+
+// OccupancyHint quantizes a queue's occupancy onto one byte for the wire's
+// occupancy-hint field: 0 is empty (or unbounded), 255 is at or beyond
+// capacity. Rounding is chosen so the hint and the mark bit agree exactly:
+// HintCongested(OccupancyHint(d, c)) == Mark(d, c) for every d, c.
+func OccupancyHint(depth, capacity int) uint8 {
+	if capacity <= 0 || depth <= 0 {
+		return 0
+	}
+	if depth >= capacity {
+		return 255
+	}
+	return uint8((255*depth + capacity/2) / capacity)
+}
+
+// HintCongested reports whether a wire occupancy hint encodes a congested
+// queue (hint >= MarkHint).
+func HintCongested(hint uint8) bool { return hint >= MarkHint }
+
+// WindowOnMark is the multiplicative-decrease reaction to a congestion mark:
+// the in-flight window halves, floored at min (and never below 1, so a
+// marked connection still makes progress).
+func WindowOnMark(window, min int) int {
+	if min < 1 {
+		min = 1
+	}
+	window /= 2
+	if window < min {
+		return min
+	}
+	return window
+}
+
+// WindowOnClean is the additive-increase reaction to an unmarked completion:
+// the in-flight window grows by one, capped at max (max <= 0 means
+// unbounded growth is capped at DefaultMaxWindow).
+func WindowOnClean(window, max int) int {
+	if max <= 0 {
+		max = DefaultMaxWindow
+	}
+	window++
+	if window > max {
+		return max
+	}
+	if window < 1 {
+		return 1
+	}
+	return window
+}
+
+// BackoffScale maps the most recent occupancy hint to an integer multiplier
+// for the retry policy's backoff: 1 below the mark threshold (no change),
+// 2 for a congested queue, 4 for a queue in the top quarter of its capacity.
+// Integer steps keep the schedule deterministic and cheap to apply.
+func BackoffScale(hint uint8) int {
+	switch {
+	case hint < MarkHint:
+		return 1
+	case hint < 192:
+		return 2
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,136 @@
+package dataplane
+
+import "testing"
+
+func TestMarkThreshold(t *testing.T) {
+	cases := []struct {
+		depth, capacity int
+		want            bool
+	}{
+		{0, 16, false},
+		{7, 16, false},
+		{8, 16, true}, // exactly half
+		{15, 16, true},
+		{16, 16, true}, // at capacity
+		{20, 16, true}, // beyond capacity (racy Len estimates can overshoot)
+		{2, 5, false},
+		{3, 5, true},  // ceil(5/2)
+		{0, 1, false}, // capacity 1, empty: below half
+		{1, 1, true},  // capacity 1, occupied
+		{5, 0, false},
+		{5, -1, false}, // unbounded never marks
+		{-1, 16, false},
+	}
+	for _, c := range cases {
+		if got := Mark(c.depth, c.capacity); got != c.want {
+			t.Errorf("Mark(%d, %d) = %v, want %v", c.depth, c.capacity, got, c.want)
+		}
+	}
+}
+
+func TestOccupancyHintRange(t *testing.T) {
+	if got := OccupancyHint(0, 16); got != 0 {
+		t.Errorf("empty queue hint = %d, want 0", got)
+	}
+	if got := OccupancyHint(5, 0); got != 0 {
+		t.Errorf("unbounded queue hint = %d, want 0", got)
+	}
+	if got := OccupancyHint(16, 16); got != 255 {
+		t.Errorf("full queue hint = %d, want 255", got)
+	}
+	if got := OccupancyHint(100, 16); got != 255 {
+		t.Errorf("over-full queue hint = %d, want 255", got)
+	}
+	prev := uint8(0)
+	for d := 0; d <= 64; d++ {
+		h := OccupancyHint(d, 64)
+		if h < prev {
+			t.Fatalf("hint not monotone: OccupancyHint(%d, 64) = %d < %d", d, h, prev)
+		}
+		prev = h
+	}
+}
+
+// TestHintAgreesWithMark pins the quantization contract: the one-byte hint
+// carries enough information to reconstruct the mark decision exactly, for
+// every depth and capacity. The client's HintCongested and the queue's Mark
+// must never disagree or the two ends of the loop see different worlds.
+func TestHintAgreesWithMark(t *testing.T) {
+	for capacity := 1; capacity <= 257; capacity++ {
+		for depth := 0; depth <= capacity+3; depth++ {
+			mark := Mark(depth, capacity)
+			hint := HintCongested(OccupancyHint(depth, capacity))
+			if mark != hint {
+				t.Fatalf("depth %d capacity %d: Mark=%v but HintCongested(hint)=%v",
+					depth, capacity, mark, hint)
+			}
+		}
+	}
+}
+
+func TestWindowAIMD(t *testing.T) {
+	if got := WindowOnMark(64, 1); got != 32 {
+		t.Errorf("WindowOnMark(64, 1) = %d, want 32", got)
+	}
+	if got := WindowOnMark(3, 1); got != 1 {
+		t.Errorf("WindowOnMark(3, 1) = %d, want 1", got)
+	}
+	if got := WindowOnMark(1, 1); got != 1 {
+		t.Errorf("WindowOnMark(1, 1) = %d, want 1 (never below 1)", got)
+	}
+	if got := WindowOnMark(64, 16); got != 32 {
+		t.Errorf("WindowOnMark(64, 16) = %d, want 32", got)
+	}
+	if got := WindowOnMark(20, 16); got != 16 {
+		t.Errorf("WindowOnMark(20, 16) = %d, want floor 16", got)
+	}
+	if got := WindowOnMark(2, 0); got != 1 {
+		t.Errorf("WindowOnMark(2, 0) = %d, want 1 (min clamped to 1)", got)
+	}
+	if got := WindowOnClean(64, 128); got != 65 {
+		t.Errorf("WindowOnClean(64, 128) = %d, want 65", got)
+	}
+	if got := WindowOnClean(128, 128); got != 128 {
+		t.Errorf("WindowOnClean(128, 128) = %d, want cap 128", got)
+	}
+	if got := WindowOnClean(5, 0); got != 6 {
+		t.Errorf("WindowOnClean(5, 0) = %d, want 6 (default cap)", got)
+	}
+	if got := WindowOnClean(0, 8); got != 1 {
+		t.Errorf("WindowOnClean(0, 8) = %d, want 1", got)
+	}
+	// Decrease must dominate increase: one mark undoes many cleans.
+	w := 64
+	for i := 0; i < 31; i++ {
+		w = WindowOnClean(w, 128)
+	}
+	if w != 95 {
+		t.Fatalf("31 cleans from 64 = %d, want 95", w)
+	}
+	if w = WindowOnMark(w, 1); w != 47 {
+		t.Fatalf("one mark after growth = %d, want 47", w)
+	}
+}
+
+func TestBackoffScale(t *testing.T) {
+	cases := []struct {
+		hint uint8
+		want int
+	}{
+		{0, 1}, {64, 1}, {127, 1},
+		{128, 2}, {160, 2}, {191, 2},
+		{192, 4}, {255, 4},
+	}
+	for _, c := range cases {
+		if got := BackoffScale(c.hint); got != c.want {
+			t.Errorf("BackoffScale(%d) = %d, want %d", c.hint, got, c.want)
+		}
+	}
+	// A hint below the mark threshold must never scale backoff: the scale
+	// only engages once the queue actually reported congestion.
+	for h := 0; h < int(MarkHint); h++ {
+		if BackoffScale(uint8(h)) != 1 {
+			t.Fatalf("BackoffScale(%d) != 1 below MarkHint", h)
+		}
+	}
+}

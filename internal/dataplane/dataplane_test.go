@@ -200,6 +200,12 @@ func TestDecisionFunctionsZeroAlloc(t *testing.T) {
 		{"ShouldShed", func() { sinkB = ShouldShed(250, 300) }},
 		{"ElapsedMicros", func() { sinkB = ElapsedMicros(12345) > 0 }},
 		{"Admit", func() { sinkB = Admit(3, 4) }},
+		{"Mark", func() { sinkB = Mark(9, 16) }},
+		{"OccupancyHint", func() { sinkB = OccupancyHint(9, 16) > 0 }},
+		{"HintCongested", func() { sinkB = HintCongested(200) }},
+		{"WindowOnMark", func() { sink = uint16(WindowOnMark(64, 1)) }},
+		{"WindowOnClean", func() { sink = uint16(WindowOnClean(64, 128)) }},
+		{"BackoffScale", func() { sink = uint16(BackoffScale(200)) }},
 	}
 	for _, c := range checks {
 		if avg := testing.AllocsPerRun(200, c.fn); avg != 0 {

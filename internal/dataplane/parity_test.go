@@ -148,6 +148,99 @@ func TestSteeringParityStatic(t *testing.T) {
 	}
 }
 
+// TestMarkParity drives both substrates' receive queues from empty to full
+// with the same capacity and asserts byte-identical congestion verdicts: the
+// fabric's per-frame FlagCongested bit and occupancy hint byte must equal the
+// timing model's per-entry Marked/Hint, and both must equal the raw
+// dataplane.Mark / dataplane.OccupancyHint decision on the same depth. A
+// divergence means one substrate moved its mark point (e.g. marking after the
+// push instead of at admission) and the ECN signal would fire at different
+// loads on the two stacks.
+func TestMarkParity(t *testing.T) {
+	const capacity = 16
+
+	// Functional substrate: one flow, ring depth = capacity, filled without
+	// draining so frame i is admitted at ring depth i.
+	fab := fabric.NewFabric()
+	src, err := fab.CreateNIC(paritySrcAddr, 1, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := fab.CreateNIC(parityDstAddr, 1, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < capacity; i++ {
+		m := &wire.Message{Header: wire.Header{
+			Kind: wire.KindRequest, RPCID: uint64(i),
+			SrcAddr: paritySrcAddr, DstAddr: parityDstAddr,
+		}}
+		if err := src.Send(m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	fl, err := dst.Flow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabricMarked := make([]bool, capacity)
+	fabricHint := make([]uint8, capacity)
+	for i := 0; i < capacity; i++ {
+		frame, ok := fl.TryRecv()
+		if !ok {
+			t.Fatalf("frame %d missing", i)
+		}
+		h, err := wire.ParseHeader(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fabricMarked[i] = h.Congested()
+		fabricHint[i] = h.Occupancy
+		fl.Buffers().Put(frame)
+	}
+
+	// Timing substrate: one RX path, buffer capacity = capacity, batch 1 so
+	// every Deliver immediately moves its entry to the pending set and entry
+	// i is likewise admitted at depth i.
+	rx := nicmodel.NewRxPath(1, capacity)
+	for i := 0; i < capacity; i++ {
+		rx.Deliver(nicmodel.RxEntry{RPCID: uint64(i)})
+	}
+	entries := rx.Complete(0)
+	if len(entries) != capacity {
+		t.Fatalf("rx path delivered %d of %d entries", len(entries), capacity)
+	}
+
+	marks := 0
+	for i := 0; i < capacity; i++ {
+		want := dataplane.Mark(i, capacity)
+		var wantHint uint8
+		if want {
+			wantHint = dataplane.OccupancyHint(i, capacity)
+		}
+		if fabricMarked[i] != want || entries[i].Marked != want {
+			t.Fatalf("depth %d: fabric marked=%v, nicmodel marked=%v, dataplane=%v",
+				i, fabricMarked[i], entries[i].Marked, want)
+		}
+		if fabricHint[i] != wantHint || entries[i].Hint != wantHint {
+			t.Fatalf("depth %d: fabric hint=%d, nicmodel hint=%d, dataplane=%d",
+				i, fabricHint[i], entries[i].Hint, wantHint)
+		}
+		if want {
+			marks++
+		}
+	}
+	if marks == 0 {
+		t.Fatal("no depth marked; sequence does not exercise the policy")
+	}
+	if got := fl.Marked(); got != uint64(marks) {
+		t.Fatalf("fabric flow marked %d frames, want %d", got, marks)
+	}
+	if got := rx.Marked; got != uint64(marks) {
+		t.Fatalf("rx path marked %d entries, want %d", got, marks)
+	}
+}
+
 // TestShedParity drives the same seeded (budget, queueing-delay) pairs
 // through the functional server's shed decision (core.ShedDecision over wall
 // timestamps) and the timing model's (nicmodel.NIC.ShedExpired over virtual

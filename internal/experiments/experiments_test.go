@@ -280,7 +280,7 @@ func TestRegistryIDs(t *testing.T) {
 	}
 	for _, want := range []string{"fig3", "fig4", "fig5", "fig10", "fig11-latency",
 		"fig11-scale", "fig12", "fig12-skew", "fig15", "table1", "table3", "table4",
-		"raw-read", "overload"} {
+		"raw-read", "overload", "congestion"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

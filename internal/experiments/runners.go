@@ -37,6 +37,7 @@ func Registry() map[string]Runner {
 		"fig15":         RunFig15,
 		"raw-read":      RunRawReadCompare,
 		"overload":      RunOverload,
+		"congestion":    RunCongestion,
 	}
 }
 

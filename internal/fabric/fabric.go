@@ -93,6 +93,7 @@ type Flow struct {
 	rspWake chan struct{}
 	pool    *ringbuf.BufPool
 	dropped atomic.Uint64
+	marked  atomic.Uint64
 }
 
 // bufClasses are the default buffer size classes shared by every data-path
@@ -173,6 +174,15 @@ func (f *Flow) deliver(frame []byte, isResponse bool) bool {
 	if isResponse {
 		ring, wake = f.resp, f.rspWake
 	}
+	// ECN-style congestion marking (the closed loop the paper's NIC exports
+	// to the host stack): if the ring is already at or past the dataplane
+	// mark threshold, stamp the frame before publishing it. The frame is
+	// still exclusively ours until Push succeeds, so patching its header
+	// bytes is race-free.
+	if depth := ring.Len(); dataplane.Mark(depth, ring.Cap()) {
+		wire.StampCongestion(frame, dataplane.OccupancyHint(depth, ring.Cap()))
+		f.marked.Add(1)
+	}
 	if !ring.Push(frame) {
 		// Full RX ring: the dataplane RX overflow policy (RxRingOverflow)
 		// is drop-newest, never blocking the fabric.
@@ -228,6 +238,11 @@ func (f *Flow) TryRecv() ([]byte, bool) {
 // Dropped returns the number of frames dropped at this flow's rings.
 func (f *Flow) Dropped() uint64 { return f.dropped.Load() }
 
+// Marked returns the number of frames congestion-marked at this flow's
+// rings (frames admitted while occupancy was at or past the dataplane mark
+// threshold).
+func (f *Flow) Marked() uint64 { return f.marked.Load() }
+
 // connKey identifies a connection across the fabric.
 type connKey struct {
 	src uint32
@@ -258,6 +273,15 @@ type SoftNIC struct {
 
 // Addr returns the NIC's fabric address.
 func (n *SoftNIC) Addr() uint32 { return n.addr }
+
+// Marks returns the total congestion marks stamped at this NIC's flow rings.
+func (n *SoftNIC) Marks() uint64 {
+	var total uint64
+	for _, fl := range n.flows {
+		total += fl.Marked()
+	}
+	return total
+}
 
 // NumFlows returns the flow count (hard configuration).
 func (n *SoftNIC) NumFlows() int { return len(n.flows) }

@@ -246,6 +246,49 @@ func TestFabricRingFullDrops(t *testing.T) {
 	}
 }
 
+// TestFabricCongestionMarking drives one flow's RX ring from empty to full
+// without draining: frames admitted below the half-occupancy threshold must
+// arrive clean, frames at or past it must carry the congestion bit and an
+// occupancy hint that agrees with dataplane.Mark on the same depth.
+func TestFabricCongestionMarking(t *testing.T) {
+	const depth = 16
+	f := NewFabric()
+	a, _ := f.CreateNIC(1, 1, depth)
+	b, _ := f.CreateNIC(2, 1, depth)
+	for i := 0; i < depth; i++ {
+		if err := a.Send(req(1, 2, 1, 0, "x")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	fl, _ := b.Flow(0)
+	for i := 0; i < depth; i++ {
+		frame, ok := fl.TryRecv()
+		if !ok {
+			t.Fatalf("frame %d missing", i)
+		}
+		h, err := wire.ParseHeader(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMark := i >= depth/2 // frame i was admitted at ring depth i
+		if h.Congested() != wantMark {
+			t.Fatalf("frame %d congested=%v, want %v", i, h.Congested(), wantMark)
+		}
+		if wantMark && !(h.Occupancy >= 128) {
+			t.Fatalf("frame %d marked with low hint %d", i, h.Occupancy)
+		}
+		if !wantMark && h.Occupancy != 0 {
+			t.Fatalf("clean frame %d carries hint %d", i, h.Occupancy)
+		}
+	}
+	if got := fl.Marked(); got != depth/2 {
+		t.Fatalf("flow marked %d frames, want %d", got, depth/2)
+	}
+	if got := b.Marks(); got != depth/2 {
+		t.Fatalf("NIC marks %d, want %d", got, depth/2)
+	}
+}
+
 func TestFabricCloseAndReuseAddress(t *testing.T) {
 	f := NewFabric()
 	a, _ := f.CreateNIC(1, 1, 4)

@@ -50,6 +50,13 @@ type RunConfig struct {
 	// requests still execute, which is the overload tail-amplification the
 	// budget exists to prevent.
 	Shed bool
+	// MarkDepth enables ECN-style congestion marking at every tier: a visit
+	// that finds MarkDepth/2 or more requests already queued for the tier's
+	// cores picks up a congestion mark (dataplane.Mark over the core queue
+	// depth), and the mark sticks to the request tier-to-tier — exactly how
+	// a wire mark survives reassembly and response echo in the functional
+	// stack. 0 disables marking.
+	MarkDepth int
 }
 
 // TierStats aggregates per-visit measurements at one tier.
@@ -98,6 +105,9 @@ type Result struct {
 	// completing (only nonzero when Config.Shed is set). Shed requests do
 	// not contribute to the latency histograms: they have no completion.
 	Shed int
+	// Marked counts completed requests that picked up a congestion mark at
+	// any tier on their call tree (only nonzero when Config.MarkDepth > 0).
+	Marked int
 }
 
 // AllReqSizes flattens request sizes across tiers.
@@ -176,6 +186,9 @@ func Run(cfg RunConfig) *Result {
 				r.res.Shed++
 				return
 			}
+			if req.marked {
+				r.res.Marked++
+			}
 			total := r.eng.Now() - start
 			r.res.E2E.Total.Record(int64(total))
 			r.res.E2E.Net.Record(int64(net))
@@ -191,11 +204,14 @@ func Run(cfg RunConfig) *Result {
 }
 
 // reqState is one end-to-end request's budget bookkeeping: its virtual
-// arrival time (the budget's anchor) and whether any tier has shed it. A
-// shed request's remaining visits short-circuit without occupying cores.
+// arrival time (the budget's anchor), whether any tier has shed it, and
+// whether any tier's queue congestion-marked it. A shed request's remaining
+// visits short-circuit without occupying cores; a mark sticks for the rest
+// of the call tree (the wire stamp survives every hop).
 type reqState struct {
-	start sim.Time
-	shed  bool
+	start  sim.Time
+	shed   bool
+	marked bool
 }
 
 // visit executes one call-tree node: queue for the tier's cores, pay
@@ -230,6 +246,13 @@ func (r *runner) visitOnce(tier *Tier, ts *TierStats, c Call, req *reqState, don
 
 	arrival := r.eng.Now()
 	core := r.cores[r.cfg.Graph.TierIndex(tier.Name)]
+	// ECN-style congestion marking at the tier's core queue: a visit that
+	// arrives to find the queue at or past the mark threshold stamps the
+	// request, and the stamp rides the request through the rest of its call
+	// tree to the completion (Result.Marked).
+	if r.cfg.MarkDepth > 0 && !req.marked && dataplane.Mark(core.QueueLen(), r.cfg.MarkDepth) {
+		req.marked = true
+	}
 	core.Acquire(func() {
 		queueWait := r.eng.Now() - arrival
 		// Shed-before-dispatch (the dataplane shed policy): when the

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dagger/internal/dataplane"
 	"dagger/internal/interconnect"
 	"dagger/internal/sim"
 	"dagger/internal/wire"
@@ -433,6 +434,61 @@ func TestRxPathOverflowDrops(t *testing.T) {
 	rx.Deliver(RxEntry{RPCID: 4})
 	if rx.Dropped <= dropped {
 		t.Fatal("overflow did not drop")
+	}
+}
+
+// TestRxPathCongestionMarking fills an RX buffer without draining: entries
+// admitted below half occupancy arrive clean, entries at or past it carry
+// the mark and a hint agreeing with dataplane.Mark on the same depth.
+func TestRxPathCongestionMarking(t *testing.T) {
+	const capEntries = 16
+	rx := NewRxPath(1, capEntries) // batch 1: every entry goes straight to pending
+	for i := 0; i < capEntries; i++ {
+		rx.Deliver(RxEntry{RPCID: uint64(i)})
+	}
+	got := rx.Complete(0)
+	if len(got) != capEntries {
+		t.Fatalf("delivered %d entries", len(got))
+	}
+	for i, e := range got {
+		wantMark := dataplane.Mark(i, capEntries) // entry i admitted at depth i
+		if e.Marked != wantMark {
+			t.Fatalf("entry %d marked=%v, want %v", i, e.Marked, wantMark)
+		}
+		if wantMark {
+			if want := dataplane.OccupancyHint(i, capEntries); e.Hint != want {
+				t.Fatalf("entry %d hint=%d, want %d", i, e.Hint, want)
+			}
+		} else if e.Hint != 0 {
+			t.Fatalf("clean entry %d carries hint %d", i, e.Hint)
+		}
+	}
+	if rx.Marked != capEntries/2 {
+		t.Fatalf("Marked = %d, want %d", rx.Marked, capEntries/2)
+	}
+}
+
+// TestTxPathCongestionMarking fills the request table without scheduling:
+// slots claimed at or past half occupancy are stamped.
+func TestTxPathCongestionMarking(t *testing.T) {
+	tx := NewTxPath(4, 2) // table of 8
+	size := tx.TableSize()
+	for i := 0; i < size; i++ {
+		if !tx.Enqueue(uint16(i%2), uint64(i), nil) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	marked := 0
+	for _, s := range tx.table {
+		if s.Marked {
+			marked++
+			if !dataplane.HintCongested(s.Hint) {
+				t.Fatalf("marked slot has low hint %d", s.Hint)
+			}
+		}
+	}
+	if marked != size/2 || tx.Marked != uint64(size/2) {
+		t.Fatalf("marked %d slots (counter %d), want %d", marked, tx.Marked, size/2)
 	}
 }
 

@@ -14,6 +14,12 @@ import (
 type RxEntry struct {
 	RPCID uint64
 	Data  []byte
+	// Marked/Hint carry the ECN-style congestion stamp applied at RX-buffer
+	// admission when occupancy was at or past the dataplane mark threshold
+	// (the same dataplane.Mark decision the functional fabric stamps into
+	// wire headers).
+	Marked bool
+	Hint   uint8
 }
 
 // RxPath models one flow's RX buffer and its batching into the completion
@@ -28,6 +34,7 @@ type RxPath struct {
 	Delivered uint64
 	Dropped   uint64
 	Batches   uint64
+	Marked    uint64 // entries congestion-marked at admission
 }
 
 // NewRxPath creates an RX path with batching width B and a buffer of
@@ -51,11 +58,20 @@ func NewRxPath(batch, capEntries int) *RxPath {
 // returned. Admission is the dataplane queue policy: a full buffer drops
 // the RPC (dataplane.RxRingOverflow, best-effort delivery).
 func (r *RxPath) Deliver(e RxEntry) (ready bool) {
-	if !dataplane.Admit(len(r.buf)+len(r.pending), r.cap) {
+	depth := len(r.buf) + len(r.pending)
+	if !dataplane.Admit(depth, r.cap) {
 		if dataplane.DropRefused(dataplane.RxRingOverflow) {
 			r.Dropped++
 		}
 		return false
+	}
+	// Same mark decision (and same depth expression) as the admission
+	// check: an entry admitted at or past half occupancy carries the
+	// congestion stamp to the completion queue and onward to the client.
+	if dataplane.Mark(depth, r.cap) {
+		e.Marked = true
+		e.Hint = dataplane.OccupancyHint(depth, r.cap)
+		r.Marked++
 	}
 	r.buf = append(r.buf, e)
 	r.Received++

@@ -19,6 +19,10 @@ type RequestSlot struct {
 	RPCID uint64
 	Flow  uint16
 	Data  []byte
+	// Marked/Hint carry the congestion stamp applied at table admission
+	// when occupancy was at or past the dataplane mark threshold.
+	Marked bool
+	Hint   uint8
 }
 
 // TxPath models the request buffer, free-slot FIFO, flow FIFOs, and the
@@ -35,6 +39,7 @@ type TxPath struct {
 	Enqueued  uint64
 	Scheduled uint64
 	Stalls    uint64 // enqueue attempts that found no free slot
+	Marked    uint64 // requests congestion-marked at table admission
 }
 
 // NewTxPath creates a TX path with batch width B over nflows flows.
@@ -71,15 +76,25 @@ func (t *TxPath) Enqueue(flow uint16, rpcID uint64, data []byte) bool {
 	if int(flow) >= t.nflows {
 		panic(fmt.Sprintf("nicmodel: flow %d out of range (%d flows)", flow, t.nflows))
 	}
-	if !dataplane.Admit(len(t.table)-len(t.free), len(t.table)) {
+	depth := len(t.table) - len(t.free)
+	if !dataplane.Admit(depth, len(t.table)) {
 		if !dataplane.DropRefused(dataplane.TxTableOverflow) {
 			t.Stalls++
 		}
 		return false
 	}
+	// Same mark decision (and same depth expression) as the admission
+	// check: a request admitted at or past half table occupancy is stamped
+	// so the congestion signal rides its slot through the scheduler.
+	marked := dataplane.Mark(depth, len(t.table))
+	var hint uint8
+	if marked {
+		hint = dataplane.OccupancyHint(depth, len(t.table))
+		t.Marked++
+	}
 	slot := t.free[0]
 	t.free = t.free[1:]
-	t.table[slot] = RequestSlot{Valid: true, RPCID: rpcID, Flow: flow, Data: data}
+	t.table[slot] = RequestSlot{Valid: true, RPCID: rpcID, Flow: flow, Data: data, Marked: marked, Hint: hint}
 	t.fifos[flow] = append(t.fifos[flow], slot)
 	t.Enqueued++
 	return true

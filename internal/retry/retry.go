@@ -70,25 +70,62 @@ func (p Policy) Backoff(attempt int) time.Duration {
 	}
 	if p.Jitter > 0 {
 		// Deterministic draw in [1-Jitter, 1] from a splitmix64 stream
-		// keyed by (Seed, attempt).
+		// keyed by (Seed, attempt). Jitter is clamped to [0, 1]: a larger
+		// value would scale the delay negative, and a negative delay fires
+		// a retry immediately — the opposite of backing off.
+		jitter := p.Jitter
+		if jitter > 1 {
+			jitter = 1
+		}
 		u := splitmix64(p.Seed + uint64(attempt))
 		frac := float64(u>>11) / (1 << 53) // [0, 1)
-		d *= 1 - p.Jitter*frac
+		d *= 1 - jitter*frac
 	}
 	return time.Duration(d)
 }
+
+// ScaledBackoff is Backoff with an integer congestion multiplier applied
+// after the cap: a connection whose peer reported congestion
+// (dataplane.BackoffScale of its occupancy hint) waits scale times longer
+// between attempts, deliberately beyond Policy.Max — the cap bounds the
+// uncongested schedule, not the congestion reaction. scale < 1 is treated
+// as 1.
+func (p Policy) ScaledBackoff(attempt, scale int) time.Duration {
+	d := p.Backoff(attempt)
+	if scale > 1 {
+		d *= time.Duration(scale)
+	}
+	return d
+}
+
+// minHeadroom is the floor on the work headroom NextDelay demands beyond
+// the backoff delay. A Policy with Base <= 0 would otherwise demand zero
+// headroom and admit retries whose budget expires the moment they arrive.
+const minHeadroom = 100 * time.Microsecond
 
 // NextDelay returns the backoff before retry `attempt` and whether the
 // caller's remaining budget can absorb that delay (with headroom for the call
 // itself). remaining <= 0 means no deadline: always ok.
 func (p Policy) NextDelay(attempt int, remaining time.Duration) (time.Duration, bool) {
-	d := p.Backoff(attempt)
+	return p.NextDelayScaled(attempt, remaining, 1)
+}
+
+// NextDelayScaled is NextDelay with a congestion backoff multiplier (see
+// ScaledBackoff); the budget check is applied to the scaled delay, so a
+// congested connection gives up on doomed retries sooner.
+func (p Policy) NextDelayScaled(attempt int, remaining time.Duration, scale int) (time.Duration, bool) {
+	d := p.ScaledBackoff(attempt, scale)
 	if remaining <= 0 {
 		return d, true
 	}
-	// Require the budget to cover the delay plus at least one base-delay's
-	// worth of actual work; otherwise the retry is doomed on arrival.
-	if remaining <= d+p.Base {
+	// Require the budget to cover the delay plus headroom for the call
+	// itself — at least one base delay, floored at minHeadroom so a
+	// zero-Base policy cannot admit retries that are doomed on arrival.
+	headroom := p.Base
+	if headroom < minHeadroom {
+		headroom = minHeadroom
+	}
+	if remaining <= d+headroom {
 		return d, false
 	}
 	return d, true

@@ -80,3 +80,69 @@ func TestNextDelayBudgetAware(t *testing.T) {
 		t.Fatal("retry allowed with no headroom for the call")
 	}
 }
+
+// Regression: Jitter > 1 used to scale delays negative (d *= 1 - Jitter*frac
+// with frac near 1), making "backoff" fire immediately. The fraction is now
+// clamped to [0, 1].
+func TestBackoffJitterClamped(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Base: time.Millisecond, Max: 50 * time.Millisecond,
+		Multiplier: 2, Jitter: 3.5, Seed: 1}
+	for a := 1; a <= 20; a++ {
+		if d := p.Backoff(a); d < 0 {
+			t.Fatalf("attempt %d: negative backoff %v from Jitter > 1", a, d)
+		}
+	}
+	// Clamped jitter must behave exactly like Jitter = 1.
+	one := p
+	one.Jitter = 1
+	for a := 1; a <= 20; a++ {
+		if p.Backoff(a) != one.Backoff(a) {
+			t.Fatalf("attempt %d: Jitter 3.5 and Jitter 1 schedules diverge", a)
+		}
+	}
+}
+
+// Regression: with Base <= 0 the headroom check degenerated to
+// remaining <= d+0, admitting retries whose budget expires on arrival. A
+// positive headroom floor is now required.
+func TestNextDelayHeadroomFloor(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Base: 0, Max: 10 * time.Millisecond, Multiplier: 2}
+	// Base 0 means Backoff is 0; a 1ns budget used to pass (1 > 0+0).
+	if _, ok := p.NextDelay(1, time.Nanosecond); ok {
+		t.Fatal("doomed retry admitted with zero-Base policy")
+	}
+	if _, ok := p.NextDelay(1, 50*time.Microsecond); ok {
+		t.Fatal("retry admitted below the headroom floor")
+	}
+	if _, ok := p.NextDelay(1, time.Second); !ok {
+		t.Fatal("ample budget refused under zero-Base policy")
+	}
+}
+
+func TestScaledBackoff(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Base: time.Millisecond, Max: 8 * time.Millisecond, Multiplier: 2}
+	for a := 1; a <= 5; a++ {
+		base := p.Backoff(a)
+		if got := p.ScaledBackoff(a, 1); got != base {
+			t.Fatalf("attempt %d: scale 1 changed delay %v -> %v", a, base, got)
+		}
+		if got := p.ScaledBackoff(a, 0); got != base {
+			t.Fatalf("attempt %d: scale 0 not treated as 1", a)
+		}
+		if got := p.ScaledBackoff(a, 4); got != 4*base {
+			t.Fatalf("attempt %d: scale 4 = %v, want %v", a, got, 4*base)
+		}
+	}
+	// The congestion scale intentionally exceeds the uncongested cap.
+	if got := p.ScaledBackoff(5, 4); got != 32*time.Millisecond {
+		t.Fatalf("scaled capped delay = %v, want 32ms", got)
+	}
+	// The scaled delay is what the budget check sees.
+	d := p.Backoff(1) // 1ms
+	if _, ok := p.NextDelayScaled(1, 2*d+p.Base/2, 4); ok {
+		t.Fatal("budget check ignored the congestion scale")
+	}
+	if _, ok := p.NextDelayScaled(1, 10*d, 4); !ok {
+		t.Fatal("ample budget refused under scale")
+	}
+}

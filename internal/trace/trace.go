@@ -20,6 +20,10 @@ type Span struct {
 	Queue   sim.Time // time waiting for a thread/core
 	Work    sim.Time // handler execution time
 	End     sim.Time // response sent
+	// Marked records that the request reached this tier carrying an
+	// ECN-style congestion mark (stamped by a queue on its path), so the
+	// profile can attribute queue pressure to the services that see it.
+	Marked bool
 }
 
 // Total returns the span's wall time.
@@ -105,6 +109,8 @@ type ServiceProfile struct {
 	Spans      uint64
 	TotalBusy  sim.Time
 	TotalQueue sim.Time
+	// Marked counts spans whose request arrived congestion-marked.
+	Marked uint64
 }
 
 // MeanBusy returns the mean handler time.
@@ -121,6 +127,15 @@ func (p ServiceProfile) MeanQueue() sim.Time {
 		return 0
 	}
 	return p.TotalQueue / sim.Time(p.Spans)
+}
+
+// MarkedFrac returns the fraction of this service's spans that arrived
+// congestion-marked.
+func (p ServiceProfile) MarkedFrac() float64 {
+	if p.Spans == 0 {
+		return 0
+	}
+	return float64(p.Marked) / float64(p.Spans)
 }
 
 // Report is the analyzer output.
@@ -144,8 +159,12 @@ func (r Report) Bottleneck() string {
 func (r Report) String() string {
 	out := "service profile (by total busy time):\n"
 	for _, p := range r.Profiles {
-		out += fmt.Sprintf("  %-18s spans=%-7d busy(mean)=%-10v queue(mean)=%v\n",
+		out += fmt.Sprintf("  %-18s spans=%-7d busy(mean)=%-10v queue(mean)=%v",
 			p.Service, p.Spans, p.MeanBusy(), p.MeanQueue())
+		if p.Marked > 0 {
+			out += fmt.Sprintf(" marked=%.0f%%", 100*p.MarkedFrac())
+		}
+		out += "\n"
 	}
 	if r.Dropped > 0 {
 		out += fmt.Sprintf("  (truncated: %d traces dropped at the retention cap)\n", r.Dropped)
@@ -167,6 +186,9 @@ func (c *Collector) Analyze() Report {
 			p.Spans++
 			p.TotalBusy += sp.Work
 			p.TotalQueue += sp.Queue
+			if sp.Marked {
+				p.Marked++
+			}
 		}
 	}
 	rep := Report{Dropped: dropped}

@@ -29,6 +29,42 @@ func TestCollectAndAnalyze(t *testing.T) {
 	}
 }
 
+// TestMarkedAggregation pins the congestion-mark profile: marked spans are
+// counted per service, surfaced as a fraction, and rendered only for
+// services that actually saw marks.
+func TestMarkedAggregation(t *testing.T) {
+	c := NewCollector(0)
+	for i := 0; i < 8; i++ {
+		id := c.Begin()
+		// Flight sees pressure on half its visits; Baggage never does.
+		c.Record(id, Span{Service: "Flight", Work: 1000, Queue: 50, Marked: i%2 == 0})
+		c.Record(id, Span{Service: "Baggage", Work: 100, Queue: 10})
+	}
+	rep := c.Analyze()
+	var flight, baggage ServiceProfile
+	for _, p := range rep.Profiles {
+		switch p.Service {
+		case "Flight":
+			flight = p
+		case "Baggage":
+			baggage = p
+		}
+	}
+	if flight.Marked != 4 || flight.MarkedFrac() != 0.5 {
+		t.Fatalf("flight marked = %d (frac %.2f), want 4 (0.50)", flight.Marked, flight.MarkedFrac())
+	}
+	if baggage.Marked != 0 || baggage.MarkedFrac() != 0 {
+		t.Fatalf("baggage marked = %d, want 0", baggage.Marked)
+	}
+	text := rep.String()
+	if !strings.Contains(text, "marked=50%") {
+		t.Fatalf("report missing marked fraction:\n%s", text)
+	}
+	if strings.Count(text, "marked=") != 1 {
+		t.Fatalf("unmarked service should not render a marked column:\n%s", text)
+	}
+}
+
 func TestSpanTotal(t *testing.T) {
 	sp := Span{Start: 100, End: 350}
 	if sp.Total() != 250 {

@@ -23,6 +23,10 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(v1)
 	// A frame truncated inside the widened header extension.
 	f.Add(append([]byte(nil), good[:HeaderSize-4]...))
+	// A congestion-marked frame carrying an occupancy hint.
+	marked := append([]byte(nil), good...)
+	StampCongestion(marked, 211)
+	f.Add(marked)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, consumed, err := Unmarshal(data)
@@ -43,8 +47,9 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if m2.Kind != m.Kind || m2.ConnID != m.ConnID || m2.RPCID != m.RPCID ||
-			m2.FlowID != m.FlowID || m2.FnID != m.FnID || m2.Budget != m.Budget ||
+		if m2.Kind != m.Kind || m2.Flags != m.Flags || m2.ConnID != m.ConnID ||
+			m2.RPCID != m.RPCID || m2.FlowID != m.FlowID || m2.FnID != m.FnID ||
+			m2.Budget != m.Budget || m2.Occupancy != m.Occupancy ||
 			!bytes.Equal(m2.Payload, m.Payload) {
 			t.Fatal("round trip diverged")
 		}

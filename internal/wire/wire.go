@@ -17,7 +17,10 @@ const CacheLineSize = 64
 
 // HeaderSize is the encoded size of a message header, at the front of the
 // first cache line. Header v2 grew from 32 to 40 bytes to carry the per-RPC
-// deadline budget (plus 4 reserved bytes for future lifecycle fields).
+// deadline budget; byte 36 has since been claimed from the reserved tail for
+// the congestion occupancy hint (bytes 37-39 remain reserved). Claiming a
+// reserved-zero byte needs no magic bump: frames encoded before the field
+// existed decode with Occupancy 0, i.e. "no hint".
 const HeaderSize = 40
 
 // FirstLinePayload is the payload capacity of the first cache line.
@@ -71,19 +74,29 @@ func (k Kind) String() string {
 	}
 }
 
+// FlagCongested is the ECN-style congestion-experienced bit in Flags: set by
+// a NIC queue when the frame was admitted past the dataplane mark threshold,
+// echoed by the server into the response so the client can react. The top
+// bit keeps clear of the stack-level flags (error, shed) in the low bits.
+const FlagCongested uint8 = 0x80
+
 // Header is the fixed-size RPC header.
 type Header struct {
-	Kind    Kind
-	Flags   uint8
-	ConnID  uint32 // connection identifier (c_id in the paper)
-	RPCID   uint64 // per-connection request identifier, echoed in responses
-	FlowID  uint16 // NIC flow (maps 1:1 to an RX/TX ring)
-	FnID    uint16 // registered remote function
-	Len     uint32 // payload length in bytes
-	SrcAddr uint32 // source host address (connection setup and steering)
-	DstAddr uint32 // destination host address
-	Budget  uint32 // remaining deadline budget in microseconds; 0 = none
+	Kind      Kind
+	Flags     uint8
+	ConnID    uint32 // connection identifier (c_id in the paper)
+	RPCID     uint64 // per-connection request identifier, echoed in responses
+	FlowID    uint16 // NIC flow (maps 1:1 to an RX/TX ring)
+	FnID      uint16 // registered remote function
+	Len       uint32 // payload length in bytes
+	SrcAddr   uint32 // source host address (connection setup and steering)
+	DstAddr   uint32 // destination host address
+	Budget    uint32 // remaining deadline budget in microseconds; 0 = none
+	Occupancy uint8  // congestion occupancy hint (dataplane.OccupancyHint); 0 = none
 }
+
+// Congested reports whether the frame carries a congestion mark.
+func (h *Header) Congested() bool { return h.Flags&FlagCongested != 0 }
 
 // MaxBudget is the largest encodable deadline budget (~71.6 minutes). Budgets
 // beyond it saturate rather than wrap.
@@ -145,9 +158,44 @@ func MarshalAppend(dst []byte, m *Message) ([]byte, error) {
 	binary.LittleEndian.PutUint32(b[24:], m.SrcAddr)
 	binary.LittleEndian.PutUint32(b[28:], m.DstAddr)
 	binary.LittleEndian.PutUint32(b[32:], m.Budget)
-	// b[36:40] reserved, zero.
+	b[occupancyOffset] = m.Occupancy
+	// b[37:40] reserved, zero.
 	copy(b[HeaderSize:], m.Payload)
 	return dst, nil
+}
+
+// occupancyOffset is the byte offset of the occupancy hint in an encoded
+// header, shared by MarshalAppend, ParseHeader, and StampCongestion.
+const occupancyOffset = 36
+
+// StampCongestion sets the congestion-experienced flag and occupancy hint on
+// an already-marshalled frame, in place. NIC queues mark frames as they
+// transit — after the sender marshalled them — so the stamp patches the
+// encoded header rather than the Message. Frames too short to hold a header
+// are left untouched.
+func StampCongestion(frame []byte, hint uint8) {
+	if len(frame) < HeaderSize {
+		return
+	}
+	frame[3] |= FlagCongested
+	frame[occupancyOffset] = hint
+}
+
+// SubBudget re-anchors a deadline budget across a hop: the remaining budget
+// after elapsedMicros have passed, saturating instead of wrapping. expired
+// reports that a real budget ran out (the unsaturated subtraction would have
+// wrapped to a bogus ~71-minute budget); callers must shed rather than
+// forward such a request, because remaining 0 on the wire means "no
+// deadline". A zero input budget stays 0/not-expired: no deadline never
+// expires.
+func SubBudget(budget uint32, elapsedMicros uint64) (remaining uint32, expired bool) {
+	if budget == 0 {
+		return 0, false
+	}
+	if elapsedMicros >= uint64(budget) {
+		return 0, true
+	}
+	return budget - uint32(elapsedMicros), false
 }
 
 // ParseHeader decodes and validates the fixed-size header at the front of a
@@ -175,6 +223,7 @@ func ParseHeader(buf []byte) (Header, error) {
 	h.SrcAddr = binary.LittleEndian.Uint32(buf[24:])
 	h.DstAddr = binary.LittleEndian.Uint32(buf[28:])
 	h.Budget = binary.LittleEndian.Uint32(buf[32:])
+	h.Occupancy = buf[occupancyOffset]
 	if h.Len > MaxPayload {
 		return Header{}, ErrTooLarge
 	}

@@ -14,15 +14,16 @@ func sampleMessage(payloadLen int) *Message {
 	}
 	return &Message{
 		Header: Header{
-			Kind:    KindRequest,
-			Flags:   3,
-			ConnID:  42,
-			RPCID:   1<<40 + 17,
-			FlowID:  5,
-			FnID:    2,
-			SrcAddr: 0x0A000001,
-			DstAddr: 0x0A000002,
-			Budget:  1_500_000, // 1.5s in µs
+			Kind:      KindRequest,
+			Flags:     3,
+			ConnID:    42,
+			RPCID:     1<<40 + 17,
+			FlowID:    5,
+			FnID:      2,
+			SrcAddr:   0x0A000001,
+			DstAddr:   0x0A000002,
+			Budget:    1_500_000, // 1.5s in µs
+			Occupancy: 37,
 		},
 		Payload: p,
 	}
@@ -50,7 +51,8 @@ func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 		}
 		if got.Kind != m.Kind || got.ConnID != m.ConnID || got.RPCID != m.RPCID ||
 			got.FlowID != m.FlowID || got.FnID != m.FnID || got.Flags != m.Flags ||
-			got.SrcAddr != m.SrcAddr || got.DstAddr != m.DstAddr || got.Budget != m.Budget {
+			got.SrcAddr != m.SrcAddr || got.DstAddr != m.DstAddr || got.Budget != m.Budget ||
+			got.Occupancy != m.Occupancy {
 			t.Fatalf("header mismatch: got %+v want %+v", got.Header, m.Header)
 		}
 		if !bytes.Equal(got.Payload, m.Payload) {
@@ -137,6 +139,106 @@ func TestHeaderV2Layout(t *testing.T) {
 	}
 }
 
+// TestCongestionFieldLayout pins the congestion extension of the v2 header:
+// the mark bit and occupancy hint round-trip, the hint lives in what used to
+// be a reserved-zero byte (so frames encoded before the field existed decode
+// as unmarked with no hint, without a magic bump), and StampCongestion
+// patches marshalled frames in place.
+func TestCongestionFieldLayout(t *testing.T) {
+	m := sampleMessage(8)
+	m.Flags = FlagCongested | 3
+	m.Occupancy = 200
+	buf, err := MarshalAppend(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[36] != 200 {
+		t.Fatalf("occupancy byte at offset 36 = %d, want 200", buf[36])
+	}
+	got, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Congested() || got.Occupancy != 200 || got.Flags&3 != 3 {
+		t.Fatalf("congestion fields lost: %+v", got)
+	}
+
+	// A pre-congestion v2 frame left bytes 36..39 zero: it must decode as
+	// unmarked with a zero hint.
+	old := sampleMessage(8)
+	old.Flags = 3
+	old.Occupancy = 0
+	obuf, _ := MarshalAppend(nil, old)
+	for i := 36; i < HeaderSize; i++ {
+		if obuf[i] != 0 {
+			t.Fatalf("byte %d of an unmarked frame = %d, want 0", i, obuf[i])
+		}
+	}
+	oh, err := ParseHeader(obuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh.Congested() || oh.Occupancy != 0 {
+		t.Fatalf("unmarked frame decoded congested: %+v", oh)
+	}
+
+	// StampCongestion marks the encoded frame in place; the decode sees it.
+	StampCongestion(obuf, 190)
+	sh, err := ParseHeader(obuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.Congested() || sh.Occupancy != 190 {
+		t.Fatalf("stamp not visible: %+v", sh)
+	}
+	if sh.Flags&3 != 3 {
+		t.Fatalf("stamp clobbered other flags: %#x", sh.Flags)
+	}
+	// Too-short frames are left untouched rather than sliced out of range.
+	short := []byte{1, 2, 3}
+	StampCongestion(short, 99)
+	if short[0] != 1 || short[1] != 2 || short[2] != 3 {
+		t.Fatal("short frame mutated")
+	}
+}
+
+func TestSubBudgetSaturates(t *testing.T) {
+	cases := []struct {
+		budget  uint32
+		elapsed uint64
+		want    uint32
+		expired bool
+	}{
+		{0, 0, 0, false},
+		{0, 1 << 40, 0, false}, // no deadline never expires
+		{100, 0, 100, false},
+		{100, 40, 60, false},
+		{100, 99, 1, false},
+		{100, 100, 0, true},
+		{100, 101, 0, true}, // would wrap unsaturated: 100-101 = ~71min
+		{100, 1 << 40, 0, true},
+		{MaxBudget, 1, MaxBudget - 1, false},
+		{MaxBudget, uint64(MaxBudget), 0, true},
+	}
+	for _, c := range cases {
+		rem, exp := SubBudget(c.budget, c.elapsed)
+		if rem != c.want || exp != c.expired {
+			t.Errorf("SubBudget(%d, %d) = (%d, %v), want (%d, %v)",
+				c.budget, c.elapsed, rem, exp, c.want, c.expired)
+		}
+	}
+	// A live budget re-anchors to a live budget: remaining is never 0 (which
+	// would mean "no deadline" on the wire) unless expired says to shed.
+	for b := uint32(1); b < 2000; b += 7 {
+		for e := uint64(0); e < uint64(b); e += 3 {
+			rem, exp := SubBudget(b, e)
+			if exp || rem == 0 {
+				t.Fatalf("SubBudget(%d, %d) = (%d, %v): live budget lost its deadline", b, e, rem, exp)
+			}
+		}
+	}
+}
+
 func TestMarshalRejectsOversized(t *testing.T) {
 	m := sampleMessage(MaxPayload + 1)
 	if _, err := MarshalAppend(nil, m); err != ErrTooLarge {
@@ -169,12 +271,13 @@ func TestMarshalAppendStacks(t *testing.T) {
 
 // Property: round-trip preserves header and payload for arbitrary content.
 func TestRoundTripProperty(t *testing.T) {
-	f := func(payload []byte, connID uint32, rpcID uint64, flowID, fnID uint16, budget uint32) bool {
+	f := func(payload []byte, connID uint32, rpcID uint64, flowID, fnID uint16, budget uint32, flags, occ uint8) bool {
 		if len(payload) > MaxPayload {
 			payload = payload[:MaxPayload]
 		}
 		m := &Message{
-			Header:  Header{Kind: KindResponse, ConnID: connID, RPCID: rpcID, FlowID: flowID, FnID: fnID, Budget: budget},
+			Header: Header{Kind: KindResponse, Flags: flags, ConnID: connID, RPCID: rpcID,
+				FlowID: flowID, FnID: fnID, Budget: budget, Occupancy: occ},
 			Payload: payload,
 		}
 		buf, err := MarshalAppend(nil, m)
@@ -186,7 +289,8 @@ func TestRoundTripProperty(t *testing.T) {
 			return false
 		}
 		return got.ConnID == connID && got.RPCID == rpcID && got.FlowID == flowID &&
-			got.FnID == fnID && got.Budget == budget && bytes.Equal(got.Payload, payload)
+			got.FnID == fnID && got.Budget == budget && got.Flags == flags &&
+			got.Occupancy == occ && bytes.Equal(got.Payload, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
