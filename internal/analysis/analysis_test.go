@@ -57,6 +57,23 @@ func TestTestFileDiagnosticsFilteredWithoutOptIn(t *testing.T) {
 	}
 }
 
+// TestConnstateSimFixture pins simdeterminism coverage of the shared
+// connection-state policy layer: wall-clock eviction stamps, global-rand
+// victim selection, and order-sensitive backing-store walks are flagged
+// when attributed to dagger/internal/connstate.
+func TestConnstateSimFixture(t *testing.T) {
+	RunFixture(t, SimDeterminism,
+		filepath.Join("testdata", "connstate", "sim"), "dagger/internal/connstate/fixture")
+}
+
+// TestConnstateAllocFixture pins hotpathalloc coverage of the same layer:
+// per-lookup formatting, constant fmt.Errorf, []byte→string conversions,
+// and un-preallocated append loops are flagged there.
+func TestConnstateAllocFixture(t *testing.T) {
+	RunFixture(t, HotPathAlloc,
+		filepath.Join("testdata", "connstate", "alloc"), "dagger/internal/connstate/fixture")
+}
+
 func TestLockSafetyFixture(t *testing.T) {
 	RunFixture(t, LockSafety, filepath.Join("testdata", "locksafety"), "dagger/internal/core/fixture")
 }
@@ -104,6 +121,8 @@ func TestAnalyzersScopedOut(t *testing.T) {
 		dir string
 	}{
 		{SimDeterminism, "simdeterminism"},
+		{SimDeterminism, filepath.Join("connstate", "sim")},
+		{HotPathAlloc, filepath.Join("connstate", "alloc")},
 		{LockSafety, "locksafety"},
 		{HotPathAlloc, "hotpathalloc"},
 		{ErrCheckLite, "errchecklite"},
@@ -165,7 +184,7 @@ func TestRepoClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	dirs := []string{
-		"../sim", "../dataplane", "../interconnect", "../nicmodel",
+		"../sim", "../dataplane", "../connstate", "../interconnect", "../nicmodel",
 		"../netmodel", "../microsim", "../experiments", "../overload",
 		"../core", "../transport", "../fabric", "../ringbuf", "../wire",
 		"../../examples/quickstart", "../../examples/kvs",

@@ -27,6 +27,7 @@ var hotScopes = []string{
 	"dagger/internal/ringbuf",
 	"dagger/internal/wire",
 	"dagger/internal/transport",
+	"dagger/internal/connstate",
 }
 
 // hotFiles extends the scope to individual hot files in wider packages.

@@ -30,6 +30,7 @@ var SimDeterminism = &Analyzer{
 var simScopes = []string{
 	"dagger/internal/sim",
 	"dagger/internal/dataplane",
+	"dagger/internal/connstate",
 	"dagger/internal/interconnect",
 	"dagger/internal/nicmodel",
 	"dagger/internal/netmodel",

@@ -1,0 +1,56 @@
+// Package fixture seeds hotpathalloc violations in connection-state
+// flavored code. It is loaded by the test harness as if it lived under
+// dagger/internal/connstate: every steering decision crosses this layer, so
+// a per-lookup allocation here taxes both substrates' data paths.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errNotOpen is the shape the analyzer pushes toward: one allocation at
+// init, comparable with errors.Is, free on every lookup.
+var errNotOpen = errors.New("fixture: connection not open")
+
+func slotLabel(slot uint32) string {
+	return fmt.Sprintf("slot-%d", slot) // want `fmt\.Sprintf allocates on the hot path`
+}
+
+func lookupErr(open bool) error {
+	if !open {
+		return fmt.Errorf("fixture: connection not open") // want `constant fmt\.Errorf allocates per call`
+	}
+	return nil
+}
+
+func sentinelOK(open bool) error {
+	if !open {
+		return errNotOpen
+	}
+	return nil
+}
+
+func tagString(tag []byte) string {
+	return string(tag) // want `\[\]byte→string conversion allocates`
+}
+
+func collectOpen(keys []uint64, valid []bool) []uint64 {
+	var open []uint64
+	for i, k := range keys {
+		if valid[i] {
+			open = append(open, k) // want `append to open grows an un-preallocated slice`
+		}
+	}
+	return open
+}
+
+func collectOpenOK(keys []uint64, valid []bool) []uint64 {
+	open := make([]uint64, 0, len(keys))
+	for i, k := range keys {
+		if valid[i] {
+			open = append(open, k)
+		}
+	}
+	return open
+}

@@ -1,0 +1,48 @@
+// Package fixture seeds simdeterminism violations in connection-state
+// flavored code. It is loaded by the test harness as if it lived under
+// dagger/internal/connstate: the policy layer feeds both substrates, so any
+// wall-clock read, global-rand draw, or order-sensitive map walk here would
+// make the timing stack's results irreproducible.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stampEviction leaks real time into cache state: an eviction timestamped
+// with the wall clock diverges across runs.
+func stampEviction() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// randomVictim draws the eviction victim from the global source, making
+// cache contents irreproducible.
+func randomVictim(slots int) int {
+	return rand.Intn(slots) // want `rand\.Intn draws from the global math/rand source`
+}
+
+// seededVictim is the fix: a caller-provided seed keeps runs identical.
+func seededVictim(seed int64, slots int) int {
+	return rand.New(rand.NewSource(seed)).Intn(slots)
+}
+
+// meanOccupancy folds the backing store in randomized map order; float
+// rounding makes the sum order-dependent.
+func meanOccupancy(backing map[uint64]float64) float64 {
+	var sum float64
+	for _, v := range backing { // want `map iteration order is randomized`
+		sum += v
+	}
+	return sum / float64(len(backing))
+}
+
+// openCountOK is order-invariant: integer accumulation commutes, so the
+// randomized walk cannot leak.
+func openCountOK(backing map[uint64]uint16) uint64 {
+	var n uint64
+	for range backing {
+		n++
+	}
+	return n
+}

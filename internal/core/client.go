@@ -38,6 +38,11 @@ var (
 	// errNoConn is a sentinel: the issue path is allocation-free, so it
 	// must not mint a fresh error per call.
 	errNoConn = errors.New("core: no open connection")
+	// ErrConnNotOpen reports a call or close on a connection ID that is not
+	// open — never opened, or already closed. Calls after CloseConnection
+	// fail with it rather than being silently re-steered. Wrapped with the
+	// offending ID; match with errors.Is.
+	ErrConnNotOpen = errors.New("core: connection not open")
 )
 
 // DefaultTimeout bounds synchronous calls so a lost best-effort frame
@@ -111,6 +116,10 @@ type RpcClient struct {
 	// window (ErrCongested — the request never reached the NIC).
 	Marks   atomic.Uint64
 	Refused atomic.Uint64
+	// ConnMisses counts responses whose request missed the server NIC's
+	// connection cache (the echoed wire.FlagConnMiss): nonzero means the
+	// active connection working set no longer fits near memory (§4.2).
+	ConnMisses atomic.Uint64
 }
 
 // connCongestion is one connection's view of the congestion control loop:
@@ -218,13 +227,18 @@ func (c *RpcClient) Release(resp []byte) {
 func (c *RpcClient) OpenConnection(dstAddr uint32) (uint32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	id := uint32(len(c.conns) + 1)
-	id = id<<8 | uint32(c.flowID) // keep ids unique across a NIC's clients
+	// Connection IDs stay unique across a NIC's clients by flow-indexed
+	// residue: client k of an F-flow NIC mints k+1, k+1+F, k+1+2F, … so two
+	// clients can never collide, and one client's IDs walk distinct
+	// direct-mapped connection-cache slots instead of stacking a single slot
+	// (the NIC cache indexes by the ID's LSBs, connstate.Key).
+	nflows := uint32(c.nic.NumFlows())
+	id := uint32(len(c.conns))*nflows + uint32(c.flowID) + 1
 	for {
 		if _, dup := c.conns[id]; !dup {
 			break
 		}
-		id += 256
+		id += nflows
 	}
 	c.conns[id] = dstAddr
 	c.cong[id] = &connCongestion{window: dataplane.DefaultMaxWindow}
@@ -235,14 +249,19 @@ func (c *RpcClient) OpenConnection(dstAddr uint32) (uint32, error) {
 	return id, nil
 }
 
-// CloseConnection removes a connection. If the default connection is closed,
-// the lowest-numbered surviving connection becomes the new default —
-// deterministically, not at the mercy of map iteration order.
+// CloseConnection removes a connection and propagates the close over the
+// wire (a KindDisconnect control frame) so the server NIC retires its
+// steering entry instead of leaking it — the lifecycle's close semantics
+// come from connstate. If the default connection is closed, the
+// lowest-numbered surviving connection becomes the new default —
+// deterministically, not at the mercy of map iteration order. Subsequent
+// calls on the closed ID fail with ErrConnNotOpen.
 func (c *RpcClient) CloseConnection(id uint32) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.conns[id]; !ok {
-		return fmt.Errorf("core: connection %d not open", id)
+	dst, ok := c.conns[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrConnNotOpen, id)
 	}
 	delete(c.conns, id)
 	delete(c.cong, id)
@@ -255,6 +274,17 @@ func (c *RpcClient) CloseConnection(id uint32) error {
 			}
 		}
 	}
+	c.mu.Unlock()
+	// Best-effort, like the data path itself: the local state is already
+	// gone either way, and the control frame costs one cache line.
+	m := wire.Message{Header: wire.Header{
+		Kind:    wire.KindDisconnect,
+		ConnID:  id,
+		FlowID:  c.flowID,
+		SrcAddr: c.nic.Addr(),
+		DstAddr: dst,
+	}}
+	_ = c.nic.Send(&m)
 	return nil
 }
 
@@ -430,7 +460,7 @@ func (c *RpcClient) issue(connID uint32, fnID uint16, req []byte, budget uint32,
 	dst, ok := c.conns[connID]
 	if !ok {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("core: connection %d not open", connID)
+		return nil, fmt.Errorf("%w: %d", ErrConnNotOpen, connID)
 	}
 	cc := c.cong[connID]
 	if cc != nil && cc.inflight >= cc.window {
@@ -555,6 +585,9 @@ func (c *RpcClient) recvLoop() {
 		}
 		if m.Congested() {
 			c.Marks.Add(1)
+		}
+		if m.ConnMissed() {
+			c.ConnMisses.Add(1)
 		}
 		var resp []byte
 		var rerr error

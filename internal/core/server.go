@@ -311,6 +311,12 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 		resp.Flags |= wire.FlagCongested
 		resp.Occupancy = m.Occupancy
 	}
+	// Connection-cache echo: a request that missed the NIC's near-memory
+	// connection cache (§4.2) is reflected into the response so the client
+	// can observe a working set outgrowing the cache.
+	if m.ConnMissed() {
+		resp.Flags |= wire.FlagConnMiss
+	}
 	switch {
 	case !ok:
 		resp.Flags |= flagError
@@ -359,12 +365,13 @@ func (s *RpcThreadedServer) process(t *RpcServerThread, m wire.Message, received
 		}
 		id := tracer.Begin()
 		tracer.Record(id, trace.Span{
-			Service: name,
-			Start:   sim.Time(received.Sub(s.start)),
-			Queue:   sim.Time(execStart.Sub(received)),
-			Work:    sim.Time(time.Since(execStart)),
-			End:     sim.Time(time.Since(s.start)),
-			Marked:  m.Congested(),
+			Service:  name,
+			Start:    sim.Time(received.Sub(s.start)),
+			Queue:    sim.Time(execStart.Sub(received)),
+			Work:     sim.Time(time.Since(execStart)),
+			End:      sim.Time(time.Since(s.start)),
+			Marked:   m.Congested(),
+			ConnMiss: m.ConnMissed(),
 		})
 	}
 }

@@ -38,6 +38,7 @@ func Registry() map[string]Runner {
 		"raw-read":      RunRawReadCompare,
 		"overload":      RunOverload,
 		"congestion":    RunCongestion,
+		"connscale":     RunConnScale,
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dagger/internal/connstate"
 	"dagger/internal/dataplane"
 	"dagger/internal/ringbuf"
 	"dagger/internal/wire"
@@ -243,11 +244,10 @@ func (f *Flow) Dropped() uint64 { return f.dropped.Load() }
 // threshold).
 func (f *Flow) Marked() uint64 { return f.marked.Load() }
 
-// connKey identifies a connection across the fabric.
-type connKey struct {
-	src uint32
-	id  uint32
-}
+// DefaultConnCacheSize is the per-NIC connection cache capacity if not
+// overridden by CreateNICConns: the near-memory working set the NIC steers
+// from without paying the host-lookup penalty (§4.2).
+const DefaultConnCacheSize = 1024
 
 // SoftNIC is one endpoint's software NIC instance.
 type SoftNIC struct {
@@ -261,7 +261,15 @@ type SoftNIC struct {
 	mu        sync.RWMutex
 	balancer  Balancer
 	extractor KeyExtractor
-	conns     map[connKey]uint16 // connection -> assigned local flow
+	// conns is the §4.2 connection manager: a bounded direct-mapped cache of
+	// connection → assigned-local-flow entries backed by a host store, with
+	// the geometry and accounting owned by internal/connstate (shared with
+	// the timing stack's nicmodel so the substrates cannot drift).
+	conns *connstate.Cache[uint16]
+	// connMissHook, when set, is invoked once per connection-cache miss
+	// (outside the NIC lock): the functional stack's stand-in for the timing
+	// stack's HostLookupPenalty.
+	connMissHook func()
 
 	// Monitor counters (the packet monitor block).
 	RPCsIn   atomic.Uint64
@@ -296,7 +304,10 @@ func (n *SoftNIC) Flow(i int) (*Flow, error) {
 
 // SetBalancer selects the steering scheme for incoming requests
 // (soft configuration). The extractor is required for object-level
-// balancing.
+// balancing. Reconfiguration drops the connection table: flow assignments
+// made under the old scheme are stale (switching away from and back to
+// static balancing must not resume steering from entries the interim scheme
+// never maintained), so static steering restarts from first contact.
 func (n *SoftNIC) SetBalancer(b Balancer, ex KeyExtractor) error {
 	if b == BalanceObjectLevel && ex == nil {
 		return fmt.Errorf("fabric: object-level balancer needs a key extractor")
@@ -305,7 +316,55 @@ func (n *SoftNIC) SetBalancer(b Balancer, ex KeyExtractor) error {
 	defer n.mu.Unlock()
 	n.balancer = b
 	n.extractor = ex
+	n.conns.Reset()
 	return nil
+}
+
+// SetConnMissHook installs fn to be called once per connection-cache miss,
+// outside the NIC lock. The functional stack has no virtual clock, so this
+// is how an experiment charges the §4.2 host-lookup penalty (or just counts
+// misses); nil uninstalls.
+func (n *SoftNIC) SetConnMissHook(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.connMissHook = fn
+}
+
+// ConnStats returns the connection cache's monitor counters.
+func (n *SoftNIC) ConnStats() connstate.Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.conns.Stats()
+}
+
+// ConnHits returns the number of steering lookups served from the
+// connection cache.
+func (n *SoftNIC) ConnHits() uint64 { return n.ConnStats().Hits }
+
+// ConnMisses returns the number of steering lookups that fell back to the
+// host backing store.
+func (n *SoftNIC) ConnMisses() uint64 { return n.ConnStats().Misses }
+
+// ConnEvictions returns the number of cached connection entries displaced
+// by direct-mapped conflicts.
+func (n *SoftNIC) ConnEvictions() uint64 { return n.ConnStats().Evictions }
+
+// ConnOpenCount returns the number of connections the NIC currently holds
+// state for (cached or in the backing store). Close propagation keeps this
+// bounded under connection churn.
+func (n *SoftNIC) ConnOpenCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.conns.OpenCount()
+}
+
+// retireConn removes a connection's steering state in response to a
+// KindDisconnect control frame. Idempotent: retiring an unknown connection
+// is a no-op.
+func (n *SoftNIC) retireConn(src, id uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_ = n.conns.Close(connstate.Key(src, id))
 }
 
 // Close shuts the NIC down and removes it from the fabric.
@@ -316,10 +375,12 @@ func (n *SoftNIC) Close() {
 	n.fab.remove(n.addr)
 }
 
-// pickFlow steers an inbound request to a local flow. The decision itself
-// is dataplane.Steer — this method only supplies the NIC's state (rr
-// counter, connection table, extractor) as plain inputs.
-func (n *SoftNIC) pickFlow(m *wire.Message) uint16 {
+// pickFlow steers an inbound request to a local flow and reports whether
+// the connection lookup missed the near-memory cache. The decision itself
+// is dataplane.Steer over connstate.Cache verdicts — this method only
+// supplies the NIC's state (rr counter, connection cache, extractor) as
+// plain inputs, and runs the miss hook outside the lock.
+func (n *SoftNIC) pickFlow(m *wire.Message) (flow uint16, miss bool) {
 	n.mu.RLock()
 	balancer, extractor := n.balancer, n.extractor
 	n.mu.RUnlock()
@@ -328,36 +389,37 @@ func (n *SoftNIC) pickFlow(m *wire.Message) uint16 {
 		return dataplane.Steer(balancer, dataplane.SteerInput{
 			NFlows: len(n.flows),
 			RR:     n.rr.Add(1) - 1,
-		})
+		}), false
 	case BalanceObjectLevel:
 		return dataplane.Steer(balancer, dataplane.SteerInput{
 			NFlows: len(n.flows),
 			Key:    extractor(m.Payload),
-		})
+		}), false
 	default: // static
-		n.mu.RLock()
-		f, ok := n.conns[connKey{m.SrcAddr, m.ConnID}]
-		n.mu.RUnlock()
-		if ok {
+		key := connstate.Key(m.SrcAddr, m.ConnID)
+		n.mu.Lock()
+		if f, hit, err := n.conns.Lookup(key); err == nil {
+			hook := n.connMissHook
+			n.mu.Unlock()
+			if !hit && hook != nil {
+				hook()
+			}
 			return dataplane.Steer(balancer, dataplane.SteerInput{
 				NFlows:   len(n.flows),
 				ConnFlow: f,
 				HasConn:  true,
-			})
+			}), !hit
 		}
-		// Unknown connection: assign round-robin and remember (the CM
-		// opens the connection on first contact).
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if f, ok := n.conns[connKey{m.SrcAddr, m.ConnID}]; ok {
-			return f
-		}
-		f = dataplane.Steer(balancer, dataplane.SteerInput{
+		// Unknown connection: assign round-robin and open (the CM opens the
+		// connection on first contact). Open cannot fail here — the lookup
+		// just reported not-open under the same lock hold.
+		f := dataplane.Steer(balancer, dataplane.SteerInput{
 			NFlows: len(n.flows),
 			RR:     n.rr.Add(1) - 1,
 		})
-		n.conns[connKey{m.SrcAddr, m.ConnID}] = f
-		return f
+		_ = n.conns.Open(key, f)
+		n.mu.Unlock()
+		return f, false
 	}
 }
 
@@ -390,7 +452,15 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 		n.fab.pool.Put(frame)
 		return err
 	}
+	if m.Kind == wire.KindDisconnect {
+		// Connection-control frame: the client is propagating a close so the
+		// server NIC can retire the entry instead of leaking it. Consumed by
+		// the NIC itself — never delivered to a ring.
+		dst.retireConn(m.SrcAddr, m.ConnID)
+		return nil
+	}
 	var flow uint16
+	var connMiss bool
 	switch m.Kind {
 	case wire.KindResponse:
 		// Responses steer to the flow the request came from (§4.2: "the
@@ -398,7 +468,7 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 		// steered to the same flows where requests came from").
 		flow = dataplane.ResponseFlow(m.FlowID, len(dst.flows))
 	default:
-		flow = dst.pickFlow(m)
+		flow, connMiss = dst.pickFlow(m)
 	}
 	// Marshal into a buffer from the destination flow's pool; delivery
 	// transfers ownership to the ring, and the consumer recycles it.
@@ -407,6 +477,11 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 	if err != nil {
 		fl.pool.Put(frame)
 		return err
+	}
+	if connMiss {
+		// The steering lookup fell back to host memory: mark the frame so
+		// the server can echo it and traces can attribute the penalty.
+		wire.StampConnMiss(frame)
 	}
 	n.RPCsOut.Add(1)
 	n.BytesOut.Add(uint64(len(frame)))
@@ -495,11 +570,22 @@ func (f *Fabric) Inject(frame []byte) error {
 		f.pool.Put(frame)
 		return ErrNoRoute
 	}
+	if m.Kind == wire.KindDisconnect {
+		// Connection-control frame from a remote host: retire the entry and
+		// recycle the frame; nothing is delivered to a ring.
+		dst.retireConn(m.SrcAddr, m.ConnID)
+		f.pool.Put(frame)
+		return nil
+	}
 	var flow uint16
+	var connMiss bool
 	if m.Kind == wire.KindResponse {
 		flow = dataplane.ResponseFlow(m.FlowID, len(dst.flows))
 	} else {
-		flow = dst.pickFlow(&m)
+		flow, connMiss = dst.pickFlow(&m)
+	}
+	if connMiss {
+		wire.StampConnMiss(frame)
 	}
 	fl := dst.flows[flow]
 	if !fl.deliver(frame, m.Kind == wire.KindResponse) {
@@ -518,18 +604,32 @@ func (f *Fabric) Inject(frame []byte) error {
 const DefaultRingDepth = 1024
 
 // CreateNIC instantiates a NIC at addr with nflows flows and the given RX
-// ring depth per flow (0 uses DefaultRingDepth).
+// ring depth per flow (0 uses DefaultRingDepth). The connection cache gets
+// DefaultConnCacheSize entries; use CreateNICConns to size it.
 func (f *Fabric) CreateNIC(addr uint32, nflows, ringDepth int) (*SoftNIC, error) {
+	return f.CreateNICConns(addr, nflows, ringDepth, 0)
+}
+
+// CreateNICConns is CreateNIC with an explicit connection cache capacity
+// (§4.2 hard configuration; 0 uses DefaultConnCacheSize, rounded up to a
+// power of two). Connections beyond the cache's conflict-free working set
+// still steer correctly — they fall back to the backing store — but each
+// such lookup counts a miss and pays the (hook-injected) host-lookup
+// penalty.
+func (f *Fabric) CreateNICConns(addr uint32, nflows, ringDepth, connCache int) (*SoftNIC, error) {
 	if nflows <= 0 {
 		return nil, fmt.Errorf("fabric: need at least one flow")
 	}
 	if ringDepth <= 0 {
 		ringDepth = DefaultRingDepth
 	}
+	if connCache <= 0 {
+		connCache = DefaultConnCacheSize
+	}
 	n := &SoftNIC{
 		addr:  addr,
 		fab:   f,
-		conns: make(map[connKey]uint16),
+		conns: connstate.New[uint16](connCache),
 	}
 	for i := 0; i < nflows; i++ {
 		n.flows = append(n.flows, newFlow(ringDepth, f.pool, f.poolCfg))

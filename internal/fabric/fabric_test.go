@@ -567,3 +567,208 @@ func TestPoolConfigRejectsBadLadders(t *testing.T) {
 		}
 	}
 }
+
+// drain pops every queued frame on every flow of n, returning them to the
+// flow pools, and reports how many frames were queued.
+func drain(n *SoftNIC) int {
+	total := 0
+	for i := 0; i < n.NumFlows(); i++ {
+		fl, _ := n.Flow(i)
+		for {
+			frame, ok := fl.TryRecv()
+			if !ok {
+				break
+			}
+			total++
+			fl.Buffers().Put(frame)
+		}
+	}
+	return total
+}
+
+// TestSetBalancerClearsConnTable is the stale-steering regression: switching
+// away from and back to static balancing must not resume steering from the
+// old connection table.
+func TestSetBalancerClearsConnTable(t *testing.T) {
+	_, a, b := twoNICs(t)
+	if err := a.Send(req(1, 2, 5, 0, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if b.ConnOpenCount() != 1 {
+		t.Fatalf("open count = %d, want 1", b.ConnOpenCount())
+	}
+	if err := b.SetBalancer(BalanceUniform, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.ConnOpenCount() != 0 {
+		t.Fatalf("open count after reconfiguration = %d, want 0 (stale table)", b.ConnOpenCount())
+	}
+	if err := b.SetBalancer(BalanceStatic, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The same connection id must be treated as first contact: a fresh open,
+	// not a hit on a stale entry.
+	before := b.ConnStats()
+	if err := a.Send(req(1, 2, 5, 0, "x")); err != nil {
+		t.Fatal(err)
+	}
+	after := b.ConnStats()
+	if after.Opens != before.Opens+1 || after.Hits != before.Hits {
+		t.Fatalf("reconfigured NIC reused stale entry: before=%+v after=%+v", before, after)
+	}
+	drain(b)
+}
+
+// TestFabricConnCacheThrash pins the direct-mapped conflict ping-pong on the
+// functional substrate with exact monitor counters, mirroring nicmodel's
+// TestConnectionManagerThrash: two connection ids aliasing one slot
+// alternate miss, re-cache, evict — and the missed frames carry the wire
+// mark.
+func TestFabricConnCacheThrash(t *testing.T) {
+	f := NewFabric()
+	a, err := f.CreateNIC(1, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.CreateNICConns(2, 2, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First contact opens both; conn 5 displaces conn 1 (same LSBs, size-4
+	// cache): eviction #1.
+	for _, conn := range []uint32{1, 5} {
+		if err := a.Send(req(1, 2, conn, 0, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.ConnStats(); st.Opens != 2 || st.Evictions != 1 || st.Misses != 0 {
+		t.Fatalf("stats after opens = %+v", st)
+	}
+	drain(b)
+	// Alternating lookups ping-pong: every one a re-caching miss.
+	for round := 0; round < 3; round++ {
+		for _, conn := range []uint32{1, 5} {
+			if err := a.Send(req(1, 2, conn, 0, "x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := b.ConnStats()
+	if st.Hits != 0 || st.Misses != 6 || st.Evictions != 7 {
+		t.Fatalf("stats = %+v, want 0 hits / 6 misses / 7 evictions", st)
+	}
+	if b.ConnHits() != 0 || b.ConnMisses() != 6 || b.ConnEvictions() != 7 {
+		t.Fatal("counter accessors disagree with ConnStats")
+	}
+	// Every thrash-phase frame was stamped with the conn-miss mark.
+	missed := 0
+	for i := 0; i < b.NumFlows(); i++ {
+		fl, _ := b.Flow(i)
+		for {
+			frame, ok := fl.TryRecv()
+			if !ok {
+				break
+			}
+			m, _, err := wire.Unmarshal(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.ConnMissed() {
+				missed++
+			}
+			fl.Buffers().Put(frame)
+		}
+	}
+	if missed != 6 {
+		t.Fatalf("conn-miss-marked frames = %d, want 6", missed)
+	}
+	// A repeated send on the most recent connection hits: no mark, no evict.
+	if err := a.Send(req(1, 2, 5, 0, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.ConnStats(); st.Hits != 1 || st.Evictions != 7 {
+		t.Fatalf("stats after hit = %+v", st)
+	}
+	drain(b)
+}
+
+// TestConnMissHook verifies the optional per-miss latency hook fires once
+// per backing-store lookup — the functional stack's stand-in for the timing
+// stack's HostLookupPenalty.
+func TestConnMissHook(t *testing.T) {
+	f := NewFabric()
+	a, err := f.CreateNIC(1, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.CreateNICConns(2, 2, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hookCalls int
+	b.SetConnMissHook(func() { hookCalls++ })
+	for _, conn := range []uint32{1, 5, 1, 5, 5} { // open, open, miss, miss, hit
+		if err := a.Send(req(1, 2, conn, 0, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hookCalls != 2 {
+		t.Fatalf("miss hook ran %d times, want 2", hookCalls)
+	}
+	b.SetConnMissHook(nil)
+	if err := a.Send(req(1, 2, 1, 0, "x")); err != nil { // miss, hook uninstalled
+		t.Fatal(err)
+	}
+	if hookCalls != 2 {
+		t.Fatalf("uninstalled hook still ran (%d calls)", hookCalls)
+	}
+	drain(b)
+}
+
+// TestDisconnectRetiresEntry covers close propagation at the fabric layer: a
+// KindDisconnect control frame retires the connection's steering state, is
+// never delivered to a ring, and an open/close churn loop holds the table at
+// its steady-state size (the boundedness the unbounded map lacked).
+func TestDisconnectRetiresEntry(t *testing.T) {
+	_, a, b := twoNICs(t)
+	if err := a.Send(req(1, 2, 9, 0, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if b.ConnOpenCount() != 1 {
+		t.Fatalf("open count = %d, want 1", b.ConnOpenCount())
+	}
+	drain(b)
+	disc := &wire.Message{Header: wire.Header{
+		Kind: wire.KindDisconnect, ConnID: 9, SrcAddr: 1, DstAddr: 2,
+	}}
+	if err := a.Send(disc); err != nil {
+		t.Fatal(err)
+	}
+	if b.ConnOpenCount() != 0 {
+		t.Fatalf("open count after disconnect = %d, want 0", b.ConnOpenCount())
+	}
+	if got := drain(b); got != 0 {
+		t.Fatalf("disconnect control frame delivered to a ring (%d frames)", got)
+	}
+	// Retiring an unknown connection is an idempotent no-op.
+	if err := a.Send(disc); err != nil {
+		t.Fatal(err)
+	}
+	// Churn: the table returns to steady state every cycle instead of
+	// growing without bound.
+	for i := 0; i < 200; i++ {
+		conn := uint32(100 + i)
+		if err := a.Send(req(1, 2, conn, 0, "x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send(&wire.Message{Header: wire.Header{
+			Kind: wire.KindDisconnect, ConnID: conn, SrcAddr: 1, DstAddr: 2,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.ConnOpenCount(); got != 0 {
+			t.Fatalf("iteration %d: open count = %d, want 0", i, got)
+		}
+	}
+	drain(b)
+}

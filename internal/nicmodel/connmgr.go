@@ -8,8 +8,10 @@
 package nicmodel
 
 import (
+	"errors"
 	"fmt"
 
+	"dagger/internal/connstate"
 	"dagger/internal/sim"
 )
 
@@ -26,87 +28,47 @@ type ConnTuple struct {
 // RPC outgoing flow, the incoming flow, and the CM itself — can access it in
 // the same cycle (1W3R, §4.2). Entries evicted by conflicts fall back to
 // host memory over the interconnect, with a miss penalty.
+//
+// The cache geometry, lifecycle, and accounting are owned by
+// internal/connstate; this type is the timing adapter that converts cache
+// verdicts into sim.Time penalties.
 type ConnectionManager struct {
-	size  int
-	mask  uint32
-	valid []bool
-	ids   []uint32
-	tups  []ConnTuple
-
-	// backing store: connections that exist but are not cached (host DRAM).
-	backing map[uint32]ConnTuple
-
-	Hits   uint64
-	Misses uint64
-	Opens  uint64
-	Closes uint64
+	cache *connstate.Cache[ConnTuple]
 }
 
 // MaxCachedConnections is the FPGA BRAM-bounded connection cache limit
 // quoted in §4.2 (~153K connections for the available on-chip memory).
-const MaxCachedConnections = 153 * 1024
+const MaxCachedConnections = connstate.MaxCachedConnections
 
 // HostLookupPenalty is the extra latency of fetching a connection tuple
 // from host memory on a connection cache miss (one coherent bus round
 // trip).
-const HostLookupPenalty sim.Time = 800
+const HostLookupPenalty sim.Time = sim.Time(connstate.HostLookupPenaltyNanos)
 
 // NewConnectionManager creates a CM with a direct-mapped cache of size
 // entries (rounded up to a power of two). Size is a hard-configuration
 // parameter chosen per application (§4.2).
 func NewConnectionManager(size int) *ConnectionManager {
-	if size <= 0 {
-		panic("nicmodel: connection cache size must be positive")
-	}
-	if size > MaxCachedConnections {
-		panic(fmt.Sprintf("nicmodel: connection cache %d exceeds BRAM limit %d", size, MaxCachedConnections))
-	}
-	n := 1
-	for n < size {
-		n <<= 1
-	}
-	return &ConnectionManager{
-		size:    n,
-		mask:    uint32(n - 1),
-		valid:   make([]bool, n),
-		ids:     make([]uint32, n),
-		tups:    make([]ConnTuple, n),
-		backing: make(map[uint32]ConnTuple),
-	}
+	return &ConnectionManager{cache: connstate.New[ConnTuple](size)}
 }
 
 // Size returns the cache size in entries.
-func (cm *ConnectionManager) Size() int { return cm.size }
+func (cm *ConnectionManager) Size() int { return cm.cache.Size() }
 
 // Open registers a connection. The entry is written to the cache slot
 // indexed by the connection ID's LSBs, displacing any conflicting entry to
 // the host backing store.
 func (cm *ConnectionManager) Open(id uint32, t ConnTuple) error {
-	if _, exists := cm.backing[id]; exists {
-		return fmt.Errorf("nicmodel: connection %d already open", id)
+	if err := cm.cache.Open(uint64(id), t); err != nil {
+		return fmt.Errorf("nicmodel: connection %d already open: %w", id, err)
 	}
-	i := id & cm.mask
-	if cm.valid[i] && cm.ids[i] == id {
-		return fmt.Errorf("nicmodel: connection %d already open", id)
-	}
-	cm.Opens++
-	cm.backing[id] = t
-	cm.valid[i] = true
-	cm.ids[i] = id
-	cm.tups[i] = t
 	return nil
 }
 
 // Close removes a connection from the cache and backing store.
 func (cm *ConnectionManager) Close(id uint32) error {
-	if _, exists := cm.backing[id]; !exists {
-		return fmt.Errorf("nicmodel: connection %d not open", id)
-	}
-	cm.Closes++
-	delete(cm.backing, id)
-	i := id & cm.mask
-	if cm.valid[i] && cm.ids[i] == id {
-		cm.valid[i] = false
+	if err := cm.cache.Close(uint64(id)); err != nil {
+		return fmt.Errorf("nicmodel: connection %d not open: %w", id, err)
 	}
 	return nil
 }
@@ -115,30 +77,25 @@ func (cm *ConnectionManager) Close(id uint32) error {
 // zero on a cache hit, HostLookupPenalty on a miss that is served from host
 // memory (the missing entry is then re-cached).
 func (cm *ConnectionManager) Lookup(id uint32) (ConnTuple, sim.Time, error) {
-	i := id & cm.mask
-	if cm.valid[i] && cm.ids[i] == id {
-		cm.Hits++
-		return cm.tups[i], 0, nil
+	t, hit, err := cm.cache.Lookup(uint64(id))
+	if err != nil {
+		if errors.Is(err, connstate.ErrNotOpen) {
+			err = fmt.Errorf("nicmodel: connection %d not open: %w", id, err)
+		}
+		return ConnTuple{}, 0, err
 	}
-	t, ok := cm.backing[id]
-	if !ok {
-		return ConnTuple{}, 0, fmt.Errorf("nicmodel: connection %d not open", id)
+	if hit {
+		return t, 0, nil
 	}
-	cm.Misses++
-	cm.valid[i] = true
-	cm.ids[i] = id
-	cm.tups[i] = t
 	return t, HostLookupPenalty, nil
 }
 
 // OpenCount returns the number of open connections (cached or not).
-func (cm *ConnectionManager) OpenCount() int { return len(cm.backing) }
+func (cm *ConnectionManager) OpenCount() int { return cm.cache.OpenCount() }
+
+// Stats returns the cache's monitor counters (hits, misses, evictions,
+// opens, closes).
+func (cm *ConnectionManager) Stats() connstate.Stats { return cm.cache.Stats() }
 
 // HitRate returns the fraction of lookups served from the cache.
-func (cm *ConnectionManager) HitRate() float64 {
-	total := cm.Hits + cm.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(cm.Hits) / float64(total)
-}
+func (cm *ConnectionManager) HitRate() float64 { return cm.cache.HitRate() }

@@ -79,6 +79,41 @@ func TestConnectionManagerConflictMiss(t *testing.T) {
 	}
 }
 
+// TestConnectionManagerThrash pins the direct-mapped conflict ping-pong with
+// exact monitor counters: two ids aliasing one slot alternate miss →
+// re-cache → evict on every access (the degradation mode the connscale
+// experiment measures past cache capacity).
+func TestConnectionManagerThrash(t *testing.T) {
+	cm := NewConnectionManager(4)
+	a := ConnTuple{SrcFlow: 1}
+	b := ConnTuple{SrcFlow: 2}
+	if err := cm.Open(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Open(5, b); err != nil { // displaces id 1: eviction #1
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, p, err := cm.Lookup(1); err != nil || p != HostLookupPenalty {
+			t.Fatalf("round %d: lookup(1) penalty=%v err=%v", i, p, err)
+		}
+		if _, p, err := cm.Lookup(5); err != nil || p != HostLookupPenalty {
+			t.Fatalf("round %d: lookup(5) penalty=%v err=%v", i, p, err)
+		}
+	}
+	st := cm.Stats()
+	if st.Hits != 0 || st.Misses != 6 || st.Evictions != 7 || st.Opens != 2 {
+		t.Fatalf("stats = %+v, want 0 hits / 6 misses / 7 evictions / 2 opens", st)
+	}
+	// Break the ping-pong: the most recently re-cached id now hits for free.
+	if _, p, err := cm.Lookup(5); err != nil || p != 0 {
+		t.Fatalf("re-cached lookup penalty=%v err=%v", p, err)
+	}
+	if st := cm.Stats(); st.Hits != 1 || st.Evictions != 7 {
+		t.Fatalf("stats after hit = %+v", st)
+	}
+}
+
 // Property: with any open/lookup sequence, Lookup always returns the tuple
 // most recently opened for that id, regardless of cache conflicts.
 func TestConnectionManagerCoherenceProperty(t *testing.T) {

@@ -24,6 +24,11 @@ type Span struct {
 	// ECN-style congestion mark (stamped by a queue on its path), so the
 	// profile can attribute queue pressure to the services that see it.
 	Marked bool
+	// ConnMiss records that the request's connection lookup missed the
+	// NIC's near-memory connection cache (§4.2) and paid the host-lookup
+	// penalty, so the profile can spot services whose connection working
+	// set outgrew the cache.
+	ConnMiss bool
 }
 
 // Total returns the span's wall time.
@@ -111,6 +116,8 @@ type ServiceProfile struct {
 	TotalQueue sim.Time
 	// Marked counts spans whose request arrived congestion-marked.
 	Marked uint64
+	// ConnMisses counts spans whose request missed the connection cache.
+	ConnMisses uint64
 }
 
 // MeanBusy returns the mean handler time.
@@ -136,6 +143,15 @@ func (p ServiceProfile) MarkedFrac() float64 {
 		return 0
 	}
 	return float64(p.Marked) / float64(p.Spans)
+}
+
+// ConnMissFrac returns the fraction of this service's spans whose request
+// missed the connection cache.
+func (p ServiceProfile) ConnMissFrac() float64 {
+	if p.Spans == 0 {
+		return 0
+	}
+	return float64(p.ConnMisses) / float64(p.Spans)
 }
 
 // Report is the analyzer output.
@@ -164,6 +180,9 @@ func (r Report) String() string {
 		if p.Marked > 0 {
 			out += fmt.Sprintf(" marked=%.0f%%", 100*p.MarkedFrac())
 		}
+		if p.ConnMisses > 0 {
+			out += fmt.Sprintf(" conn-miss=%.0f%%", 100*p.ConnMissFrac())
+		}
 		out += "\n"
 	}
 	if r.Dropped > 0 {
@@ -188,6 +207,9 @@ func (c *Collector) Analyze() Report {
 			p.TotalQueue += sp.Queue
 			if sp.Marked {
 				p.Marked++
+			}
+			if sp.ConnMiss {
+				p.ConnMisses++
 			}
 		}
 	}

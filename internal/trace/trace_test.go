@@ -65,6 +65,43 @@ func TestMarkedAggregation(t *testing.T) {
 	}
 }
 
+// TestConnMissAggregation pins the connection-cache-miss profile, mirroring
+// the congestion-mark one: missed spans are counted per service, surfaced as
+// a fraction, and rendered only for services that actually saw misses.
+func TestConnMissAggregation(t *testing.T) {
+	c := NewCollector(0)
+	for i := 0; i < 8; i++ {
+		id := c.Begin()
+		// Flight's connection working set outgrew the cache on a quarter of
+		// its visits; Baggage's always fits.
+		c.Record(id, Span{Service: "Flight", Work: 1000, Queue: 50, ConnMiss: i%4 == 0})
+		c.Record(id, Span{Service: "Baggage", Work: 100, Queue: 10})
+	}
+	rep := c.Analyze()
+	var flight, baggage ServiceProfile
+	for _, p := range rep.Profiles {
+		switch p.Service {
+		case "Flight":
+			flight = p
+		case "Baggage":
+			baggage = p
+		}
+	}
+	if flight.ConnMisses != 2 || flight.ConnMissFrac() != 0.25 {
+		t.Fatalf("flight conn misses = %d (frac %.2f), want 2 (0.25)", flight.ConnMisses, flight.ConnMissFrac())
+	}
+	if baggage.ConnMisses != 0 || baggage.ConnMissFrac() != 0 {
+		t.Fatalf("baggage conn misses = %d, want 0", baggage.ConnMisses)
+	}
+	text := rep.String()
+	if !strings.Contains(text, "conn-miss=25%") {
+		t.Fatalf("report missing conn-miss fraction:\n%s", text)
+	}
+	if strings.Count(text, "conn-miss=") != 1 {
+		t.Fatalf("miss-free service should not render a conn-miss column:\n%s", text)
+	}
+}
+
 func TestSpanTotal(t *testing.T) {
 	sp := Span{Start: 100, End: 350}
 	if sp.Total() != 250 {

@@ -27,6 +27,15 @@ func FuzzUnmarshal(f *testing.F) {
 	marked := append([]byte(nil), good...)
 	StampCongestion(marked, 211)
 	f.Add(marked)
+	// A connection-control frame (client close propagation) and a frame
+	// carrying the connection-cache-miss mark.
+	disc, _ := MarshalAppend(nil, &Message{
+		Header: Header{Kind: KindDisconnect, ConnID: 7, FlowID: 1, SrcAddr: 8, DstAddr: 9},
+	})
+	f.Add(disc)
+	missed := append([]byte(nil), good...)
+	StampConnMiss(missed)
+	f.Add(missed)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, consumed, err := Unmarshal(data)

@@ -80,6 +80,13 @@ func (k Kind) String() string {
 // bit keeps clear of the stack-level flags (error, shed) in the low bits.
 const FlagCongested uint8 = 0x80
 
+// FlagConnMiss is the connection-cache-miss bit in Flags: set by a NIC whose
+// connection lookup for the frame fell back to the host backing store (§4.2),
+// echoed by the server into the response so clients and traces can observe
+// working sets that no longer fit the near-memory cache. Like FlagCongested
+// it stays clear of the stack-level flags in the low bits.
+const FlagConnMiss uint8 = 0x40
+
 // Header is the fixed-size RPC header.
 type Header struct {
 	Kind      Kind
@@ -97,6 +104,9 @@ type Header struct {
 
 // Congested reports whether the frame carries a congestion mark.
 func (h *Header) Congested() bool { return h.Flags&FlagCongested != 0 }
+
+// ConnMissed reports whether the frame carries a connection-cache-miss mark.
+func (h *Header) ConnMissed() bool { return h.Flags&FlagConnMiss != 0 }
 
 // MaxBudget is the largest encodable deadline budget (~71.6 minutes). Budgets
 // beyond it saturate rather than wrap.
@@ -179,6 +189,18 @@ func StampCongestion(frame []byte, hint uint8) {
 	}
 	frame[3] |= FlagCongested
 	frame[occupancyOffset] = hint
+}
+
+// StampConnMiss sets the connection-cache-miss flag on an already-marshalled
+// frame, in place. The NIC learns the verdict while steering the frame —
+// after the sender marshalled it — so, like StampCongestion, the stamp
+// patches the encoded header rather than the Message. Frames too short to
+// hold a header are left untouched.
+func StampConnMiss(frame []byte) {
+	if len(frame) < HeaderSize {
+		return
+	}
+	frame[3] |= FlagConnMiss
 }
 
 // SubBudget re-anchors a deadline budget across a hop: the remaining budget

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -199,6 +200,79 @@ func TestCongestionFieldLayout(t *testing.T) {
 	StampCongestion(short, 99)
 	if short[0] != 1 || short[1] != 2 || short[2] != 3 {
 		t.Fatal("short frame mutated")
+	}
+}
+
+// TestConnMissFieldLayout pins the connection-cache-miss flag bit: it
+// round-trips, keeps clear of the congestion and stack-level bits, and
+// StampConnMiss patches marshalled frames in place (mirroring
+// StampCongestion).
+func TestConnMissFieldLayout(t *testing.T) {
+	m := sampleMessage(8)
+	m.Flags = FlagConnMiss | 3
+	buf, err := MarshalAppend(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ConnMissed() || got.Congested() || got.Flags&3 != 3 {
+		t.Fatalf("conn-miss fields lost: %+v", got)
+	}
+
+	// Stamp an unmarked frame in place; other flags survive, and the bit
+	// composes with a congestion stamp on the same frame.
+	plain := sampleMessage(8)
+	plain.Flags = 3
+	pbuf, _ := MarshalAppend(nil, plain)
+	StampConnMiss(pbuf)
+	StampCongestion(pbuf, 150)
+	sh, err := ParseHeader(pbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.ConnMissed() || !sh.Congested() || sh.Occupancy != 150 || sh.Flags&3 != 3 {
+		t.Fatalf("stamps diverged: %+v", sh)
+	}
+	// Too-short frames are left untouched rather than sliced out of range.
+	short := []byte{1, 2, 3}
+	StampConnMiss(short)
+	if short[0] != 1 || short[1] != 2 || short[2] != 3 {
+		t.Fatal("short frame mutated")
+	}
+}
+
+// TestDisconnectRoundTrip pins the connection-control frame the client emits
+// on CloseConnection: a payload-less KindDisconnect carrying the connection
+// identity, surviving a marshal/decode round trip.
+func TestDisconnectRoundTrip(t *testing.T) {
+	m := &Message{Header: Header{
+		Kind: KindDisconnect, ConnID: 0x01020304,
+		FlowID: 2, SrcAddr: 0x0A000001, DstAddr: 0x0A000002,
+	}}
+	buf, err := MarshalAppend(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != CacheLineSize {
+		t.Fatalf("disconnect frame = %d bytes, want one cache line", len(buf))
+	}
+	got, n, err := Unmarshal(buf)
+	if err != nil || n != CacheLineSize {
+		t.Fatalf("unmarshal: n=%d err=%v", n, err)
+	}
+	if got.Kind != KindDisconnect || got.ConnID != m.ConnID ||
+		got.SrcAddr != m.SrcAddr || got.DstAddr != m.DstAddr ||
+		got.FlowID != m.FlowID || len(got.Payload) != 0 {
+		t.Fatalf("disconnect round trip diverged: %+v", got.Header)
+	}
+	// The same frame under the v1 magic must be rejected, not misparsed.
+	old := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint16(old, MagicV1)
+	if _, err := ParseHeader(old); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("v1 disconnect frame: %v, want ErrBadMagic", err)
 	}
 }
 
