@@ -8,6 +8,7 @@
 //	daggerbench -run fig10          # one experiment
 //	daggerbench -run all            # everything
 //	daggerbench -run fig12 -quick   # 10x fewer requests, for smoke tests
+//	daggerbench -run overload -metrics report.json   # archive telemetry
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	run := flag.String("run", "", "experiment id to run (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids")
 	quick := flag.Bool("quick", false, "run with reduced request counts")
+	metricsPath := flag.String("metrics", "", "write the unified per-experiment metrics report (JSON) to this path")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -55,4 +57,27 @@ func main() {
 		}
 		fmt.Printf("---- %s done in %v ----\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *metricsPath != "" {
+		if err := writeMetricsReport(*metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "daggerbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics report: %d experiment(s) -> %s\n",
+			experiments.Report().Len(), *metricsPath)
+	}
+}
+
+// writeMetricsReport dumps the unified per-experiment telemetry collected by
+// the runners (experiments.PublishMetrics) as the JSON report CI archives.
+func writeMetricsReport(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.Report().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -74,6 +74,23 @@ func TestConnstateAllocFixture(t *testing.T) {
 		filepath.Join("testdata", "connstate", "alloc"), "dagger/internal/connstate/fixture")
 }
 
+// TestMetricsSimFixture pins simdeterminism coverage of the metrics plane:
+// wall-clock snapshot stamps and order-sensitive registry walks are flagged
+// when attributed to dagger/internal/metrics, keeping cross-substrate
+// snapshot diffs reproducible.
+func TestMetricsSimFixture(t *testing.T) {
+	RunFixture(t, SimDeterminism,
+		filepath.Join("testdata", "metrics", "sim"), "dagger/internal/metrics/fixture")
+}
+
+// TestMetricsAllocFixture pins hotpathalloc coverage of the metrics plane:
+// per-event name formatting, []byte→string conversions, and un-preallocated
+// snapshot appends are flagged there.
+func TestMetricsAllocFixture(t *testing.T) {
+	RunFixture(t, HotPathAlloc,
+		filepath.Join("testdata", "metrics", "alloc"), "dagger/internal/metrics/fixture")
+}
+
 func TestLockSafetyFixture(t *testing.T) {
 	RunFixture(t, LockSafety, filepath.Join("testdata", "locksafety"), "dagger/internal/core/fixture")
 }

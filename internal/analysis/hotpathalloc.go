@@ -28,6 +28,7 @@ var hotScopes = []string{
 	"dagger/internal/wire",
 	"dagger/internal/transport",
 	"dagger/internal/connstate",
+	"dagger/internal/metrics",
 }
 
 // hotFiles extends the scope to individual hot files in wider packages.

@@ -36,6 +36,7 @@ var simScopes = []string{
 	"dagger/internal/netmodel",
 	"dagger/internal/microsim",
 	"dagger/internal/experiments",
+	"dagger/internal/metrics",
 }
 
 // wallClockFuncs are the time package functions that read or depend on the

@@ -1,0 +1,42 @@
+// Package fixture seeds hotpathalloc violations in metrics-flavored code.
+// It is loaded by the test harness as if it lived under
+// dagger/internal/metrics: counter increments and histogram observations sit
+// on every substrate's data path, so a per-event allocation here shows up in
+// every benchmark the registry instruments.
+package fixture
+
+import "fmt"
+
+// counterKey formats a registry name per increment — the shape the analyzer
+// exists to catch: hierarchical names must be built once at registration.
+func counterKey(flow int) string {
+	return fmt.Sprintf("thread.%d.processed", flow) // want `fmt\.Sprintf allocates on the hot path`
+}
+
+// observeLabel converts a wire tag per observation.
+func observeLabel(tag []byte) string {
+	return string(tag) // want `\[\]byte→string conversion allocates`
+}
+
+// collectNonZero grows an un-preallocated sample slice per snapshot.
+func collectNonZero(counts []uint64) []uint64 {
+	var out []uint64
+	for _, c := range counts {
+		if c > 0 {
+			out = append(out, c) // want `append to out grows an un-preallocated slice`
+		}
+	}
+	return out
+}
+
+// collectNonZeroOK is the fix: bucket counts bound the sample count, so the
+// snapshot can preallocate.
+func collectNonZeroOK(counts []uint64) []uint64 {
+	out := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

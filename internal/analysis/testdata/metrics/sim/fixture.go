@@ -1,0 +1,34 @@
+// Package fixture seeds simdeterminism violations in metrics-flavored code.
+// It is loaded by the test harness as if it lived under
+// dagger/internal/metrics: parity tests diff whole snapshots byte-for-byte
+// across substrates, so a wall-clock stamp or an order-sensitive map walk in
+// the registry would make identical runs produce different reports.
+package fixture
+
+import "time"
+
+// stampSnapshot leaks real time into a snapshot, so two captures of the
+// same counters never compare equal.
+func stampSnapshot() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// sumByName folds registered values in randomized map order; float rounding
+// makes the report order-dependent.
+func sumByName(values map[string]float64) float64 {
+	var sum float64
+	for _, v := range values { // want `map iteration order is randomized`
+		sum += v
+	}
+	return sum
+}
+
+// countRegisteredOK is order-invariant: integer counting commutes, so the
+// randomized walk cannot leak into the snapshot.
+func countRegisteredOK(values map[string]int64) int {
+	n := 0
+	for range values {
+		n++
+	}
+	return n
+}

@@ -17,6 +17,7 @@ import (
 
 	"dagger/internal/dataplane"
 	"dagger/internal/fabric"
+	"dagger/internal/metrics"
 	"dagger/internal/wire"
 )
 
@@ -106,20 +107,37 @@ type RpcClient struct {
 	stopOnce sync.Once
 	recvWG   sync.WaitGroup
 
-	// Counters.
-	Issued    atomic.Uint64
-	Completed atomic.Uint64
-	TimedOut  atomic.Uint64
-	Canceled  atomic.Uint64
+	// Counters. metrics.Counter is a drop-in for the atomic.Uint64 these
+	// grew up as; every client registers them in its metrics registry.
+	Issued    metrics.Counter
+	Completed metrics.Counter
+	TimedOut  metrics.Counter
+	Canceled  metrics.Counter
 	// Marks counts responses that arrived carrying a congestion mark;
 	// Refused counts issues rejected client-side by a full congestion
 	// window (ErrCongested — the request never reached the NIC).
-	Marks   atomic.Uint64
-	Refused atomic.Uint64
+	Marks   metrics.Counter
+	Refused metrics.Counter
 	// ConnMisses counts responses whose request missed the server NIC's
 	// connection cache (the echoed wire.FlagConnMiss): nonzero means the
 	// active connection working set no longer fits near memory (§4.2).
-	ConnMisses atomic.Uint64
+	ConnMisses metrics.Counter
+
+	reg *metrics.Registry
+}
+
+// Metrics returns the client's telemetry registry.
+func (c *RpcClient) Metrics() *metrics.Registry { return c.reg }
+
+// describeMetrics registers the client's call and congestion counters.
+func (c *RpcClient) describeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("call.issued", &c.Issued)
+	reg.RegisterCounter("call.completed", &c.Completed)
+	reg.RegisterCounter("call.timedout", &c.TimedOut)
+	reg.RegisterCounter("call.canceled", &c.Canceled)
+	reg.RegisterCounter("call.refused", &c.Refused)
+	reg.RegisterCounter("mark.echoed", &c.Marks)
+	reg.RegisterCounter("conn.miss.echoed", &c.ConnMisses)
 }
 
 // connCongestion is one connection's view of the congestion control loop:
@@ -194,6 +212,8 @@ func NewRpcClient(nic *fabric.SoftNIC, flowID int) (*RpcClient, error) {
 		pending: make(map[uint64]*call),
 		stop:    make(chan struct{}),
 	}
+	c.reg = metrics.New()
+	c.describeMetrics(c.reg)
 	c.timeout.Store(int64(DefaultTimeout))
 	c.recvWG.Add(1)
 	go c.recvLoop()

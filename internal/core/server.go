@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dagger/internal/dataplane"
 	"dagger/internal/fabric"
+	"dagger/internal/metrics"
 	"dagger/internal/sim"
 	"dagger/internal/trace"
 	"dagger/internal/wire"
@@ -66,7 +66,7 @@ type RpcServerThread struct {
 	flowID uint16
 	flow   *fabric.Flow
 
-	Processed atomic.Uint64
+	Processed metrics.Counter
 }
 
 // RpcThreadedServer owns a NIC's server side: a dispatch thread per flow
@@ -92,11 +92,31 @@ type RpcThreadedServer struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	Handled atomic.Uint64
-	Errors  atomic.Uint64
+	// Counters. metrics.Counter is a drop-in for the atomic.Uint64 these
+	// grew up as; every server registers them in its metrics registry.
+	Handled metrics.Counter
+	Errors  metrics.Counter
 	// Shed counts requests dropped before handler invocation because their
 	// deadline budget had already expired on arrival or in queue.
-	Shed atomic.Uint64
+	Shed metrics.Counter
+
+	reg *metrics.Registry
+}
+
+// Metrics returns the server's telemetry registry. The shed counter uses
+// the cross-substrate name (shed.expired) so snapshots diff cleanly against
+// the timing stack's NIC monitor.
+func (s *RpcThreadedServer) Metrics() *metrics.Registry { return s.reg }
+
+// describeMetrics registers the server's dispatch counters, including one
+// per-thread processed counter.
+func (s *RpcThreadedServer) describeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("rpc.handled", &s.Handled)
+	reg.RegisterCounter("rpc.errors", &s.Errors)
+	reg.RegisterCounter("shed.expired", &s.Shed)
+	for _, t := range s.threads {
+		reg.RegisterCounter(fmt.Sprintf("thread.%d.processed", t.flowID), &t.Processed)
+	}
 }
 
 type workItem struct {
@@ -137,6 +157,8 @@ func NewRpcThreadedServer(nic *fabric.SoftNIC, cfg ServerConfig) *RpcThreadedSer
 		fl, _ := nic.Flow(i)
 		s.threads = append(s.threads, &RpcServerThread{srv: s, flowID: uint16(i), flow: fl})
 	}
+	s.reg = metrics.New()
+	s.describeMetrics(s.reg)
 	return s
 }
 

@@ -236,7 +236,7 @@ func TestMarkParity(t *testing.T) {
 	if got := fl.Marked(); got != uint64(marks) {
 		t.Fatalf("fabric flow marked %d frames, want %d", got, marks)
 	}
-	if got := rx.Marked; got != uint64(marks) {
+	if got := rx.Marked.Load(); got != uint64(marks) {
 		t.Fatalf("rx path marked %d entries, want %d", got, marks)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"dagger/internal/dataplane"
 	"dagger/internal/interconnect"
+	"dagger/internal/metrics"
 	"dagger/internal/overload"
 	"dagger/internal/retry"
 	"dagger/internal/sim"
@@ -83,6 +84,21 @@ type CongestionResult struct {
 	// FinalWindow is the AIMD window when the run ended (congWindowMax when
 	// marking is off: the loop never engages).
 	FinalWindow int
+}
+
+// MetricsSnapshot renders the point's counters as a metrics snapshot under
+// the cross-substrate naming scheme (the congestion point models the client
+// loop directly rather than through a NIC, so it has no registry of its
+// own). mark.echoed/call.refused match the core client's families.
+func (r *CongestionResult) MetricsSnapshot() metrics.Snapshot {
+	reg := metrics.New()
+	reg.Counter("call.completed").Add(uint64(r.Completed))
+	reg.Counter("call.refused").Add(uint64(r.Refused))
+	reg.Counter("call.gaveup").Add(uint64(r.GaveUp))
+	reg.Counter("mark.echoed").Add(uint64(r.Marks))
+	reg.Counter("drop.ring").Add(uint64(r.Dropped))
+	reg.Gauge("conn.window").Set(int64(r.FinalWindow))
+	return reg.Snapshot()
 }
 
 // MedianUs returns the median completed round trip in microseconds.
@@ -283,6 +299,7 @@ func RunCongestion(w io.Writer, quick bool) error {
 	if on.FinalWindow >= congWindowMax {
 		return fmt.Errorf("congestion: AIMD window never decreased from %d", on.FinalWindow)
 	}
+	PublishMetrics("congestion", on.MetricsSnapshot())
 
 	fmt.Fprintln(w, "  functional stack (real goroutines, wall clock; indicative):")
 	fdur := 200 * time.Millisecond

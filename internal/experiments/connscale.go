@@ -6,6 +6,7 @@ import (
 
 	"dagger/internal/connstate"
 	"dagger/internal/interconnect"
+	"dagger/internal/metrics"
 	"dagger/internal/nicmodel"
 	"dagger/internal/overload"
 	"dagger/internal/sim"
@@ -46,6 +47,9 @@ type ConnScaleResult struct {
 	// connstate.Stats the functional fabric exposes, so the two substrates'
 	// miss counts are directly comparable.
 	Stats connstate.Stats
+	// Metrics is the server NIC's registry snapshot at quiescence (conn.*
+	// under the cross-substrate names).
+	Metrics metrics.Snapshot
 }
 
 // MedianUs returns the median round trip in microseconds.
@@ -129,6 +133,7 @@ func RunConnScalePoint(cfg ConnScaleConfig) *ConnScaleResult {
 	eng.Run()
 
 	res.Stats = serverNIC.CM.Stats()
+	res.Metrics = serverNIC.Metrics().Snapshot()
 	return res
 }
 
@@ -192,6 +197,9 @@ func RunConnScale(w io.Writer, quick bool) error {
 					conns, r.Stats.Misses, n)
 			}
 		}
+		// The last sweep point (4C, every lookup spilling) is the one the
+		// unified report keeps.
+		PublishMetrics("connscale", r.Metrics)
 	}
 
 	fmt.Fprintln(w, "  functional stack (real NICs and goroutines; miss counters asserted, latency indicative):")

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dagger/internal/interconnect"
+	"dagger/internal/metrics"
 	"dagger/internal/nicmodel"
 	"dagger/internal/overload"
 	"dagger/internal/sim"
@@ -53,6 +54,9 @@ type OverloadResult struct {
 	// DeadlineMisses counts requests that completed after their deadline
 	// (doomed work the server executed anyway; always 0 when Shed is on).
 	DeadlineMisses int
+	// Metrics is the server NIC's registry snapshot at quiescence
+	// (shed.expired, conn.*, ... under the cross-substrate names).
+	Metrics metrics.Snapshot
 }
 
 // MedianUs returns the median completed round trip in microseconds.
@@ -166,6 +170,7 @@ func RunOverloadPoint(cfg OverloadConfig) *OverloadResult {
 	if elapsed := lastCompletion - firstArrival; elapsed > 0 {
 		res.GoodputRPS = float64(inBudget) / (float64(elapsed) / 1e9)
 	}
+	res.Metrics = serverNIC.Metrics().Snapshot()
 	return res
 }
 
@@ -218,6 +223,7 @@ func RunOverload(w io.Writer, quick bool) error {
 	if last.on.Shed == 0 {
 		return fmt.Errorf("overload: no requests shed at %.1fx saturation", 2.5)
 	}
+	PublishMetrics("overload", last.on.Metrics)
 
 	fmt.Fprintln(w, "  functional stack (real goroutines, wall clock; indicative):")
 	fdur := 300 * time.Millisecond

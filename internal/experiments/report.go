@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"dagger/internal/metrics"
+)
+
+// ReportEntry is one experiment's published metrics snapshot.
+type ReportEntry struct {
+	Experiment string           `json:"experiment"`
+	Metrics    metrics.Snapshot `json:"metrics"`
+}
+
+// MetricsReport accumulates per-experiment snapshots into the unified
+// telemetry report daggerbench emits with -metrics and CI archives. Runners
+// publish whatever registries their components expose (NIC monitors, or a
+// registry built from result counters when a run has no NIC); names follow
+// the cross-substrate scheme (conn.*, shed.*, mark.*, call.*, ...).
+type MetricsReport struct {
+	mu      sync.Mutex
+	entries []ReportEntry
+}
+
+// Publish records snap under the experiment id, replacing any earlier
+// snapshot for the same id (a re-run keeps the latest).
+func (r *MetricsReport) Publish(experiment string, snap metrics.Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.entries {
+		if r.entries[i].Experiment == experiment {
+			r.entries[i].Metrics = snap
+			return
+		}
+	}
+	r.entries = append(r.entries, ReportEntry{Experiment: experiment, Metrics: snap})
+}
+
+// Entries returns a copy of the report sorted by experiment id.
+func (r *MetricsReport) Entries() []ReportEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ReportEntry, len(r.entries))
+	copy(out, r.entries)
+	sort.Slice(out, func(i, j int) bool { return out[i].Experiment < out[j].Experiment })
+	return out
+}
+
+// Len returns the number of experiments with a published snapshot.
+func (r *MetricsReport) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// WriteJSON writes the report as indented JSON. Entries sort by experiment
+// id and samples by name, so identical runs produce byte-identical reports.
+func (r *MetricsReport) WriteJSON(w io.Writer) error {
+	out := struct {
+		Experiments []ReportEntry `json:"experiments"`
+	}{Experiments: r.Entries()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// defaultReport is the package-level sink runners publish into;
+// cmd/daggerbench drains it via Report when -metrics is set.
+var defaultReport = &MetricsReport{}
+
+// PublishMetrics records snap in the package-level report under id.
+func PublishMetrics(id string, snap metrics.Snapshot) { defaultReport.Publish(id, snap) }
+
+// Report returns the package-level report.
+func Report() *MetricsReport { return defaultReport }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dagger/internal/interconnect"
+	"dagger/internal/metrics"
+)
+
+// TestMetricsReport pins the report container's contract: publish replaces
+// per-experiment, entries come back sorted, and the JSON rendering is
+// byte-stable across identical reports.
+func TestMetricsReport(t *testing.T) {
+	snap := func(v uint64) metrics.Snapshot {
+		reg := metrics.New()
+		reg.Counter("rpc.in").Add(v)
+		return reg.Snapshot()
+	}
+	var r MetricsReport
+	r.Publish("zeta", snap(1))
+	r.Publish("alpha", snap(2))
+	r.Publish("zeta", snap(3)) // re-run replaces
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	es := r.Entries()
+	if es[0].Experiment != "alpha" || es[1].Experiment != "zeta" {
+		t.Fatalf("entries not sorted: %v, %v", es[0].Experiment, es[1].Experiment)
+	}
+	if got := es[1].Metrics.Value("rpc.in"); got != 3 {
+		t.Fatalf("replaced snapshot lost: rpc.in = %d, want 3", got)
+	}
+
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteJSON not byte-stable across identical reports")
+	}
+	if !strings.Contains(a.String(), `"experiment": "alpha"`) {
+		t.Fatalf("JSON missing experiment id:\n%s", a.String())
+	}
+}
+
+// TestPointResultsCarryMetrics pins that the sweep points snapshot their
+// server NIC registries, which is what PublishMetrics forwards into the
+// unified report.
+func TestPointResultsCarryMetrics(t *testing.T) {
+	iface := interconnect.Config{Kind: interconnect.UPI, Batch: 1}
+	cs := RunConnScalePoint(ConnScaleConfig{Iface: iface, CacheSize: 8, Conns: 16, Requests: 200})
+	if got, want := cs.Metrics.Value("conn.misses"), int64(cs.Stats.Misses); got != want || got == 0 {
+		t.Fatalf("connscale point: conn.misses sample %d, stats %d", got, want)
+	}
+	ov := RunOverloadPoint(OverloadConfig{
+		Iface: iface, OfferedRPS: 1e6, Requests: 200, BudgetMicros: 1, Shed: true, Seed: 3,
+	})
+	if got, want := ov.Metrics.Value("shed.expired"), int64(ov.Shed); got != want {
+		t.Fatalf("overload point: shed.expired sample %d, result %d", got, want)
+	}
+	cg := RunCongestionPoint(CongestionConfig{Iface: iface, OfferedRPS: 1e6, Requests: 200, Marked: true, Seed: 5})
+	if got, want := cg.MetricsSnapshot().Value("call.completed"), int64(cg.Completed); got != want || got == 0 {
+		t.Fatalf("congestion point: call.completed sample %d, result %d", got, want)
+	}
+}

@@ -43,6 +43,7 @@ import (
 
 	"dagger/internal/connstate"
 	"dagger/internal/dataplane"
+	"dagger/internal/metrics"
 	"dagger/internal/ringbuf"
 	"dagger/internal/wire"
 )
@@ -93,8 +94,8 @@ type Flow struct {
 	reqWake chan struct{}
 	rspWake chan struct{}
 	pool    *ringbuf.BufPool
-	dropped atomic.Uint64
-	marked  atomic.Uint64
+	dropped metrics.Counter
+	marked  metrics.Counter
 }
 
 // bufClasses are the default buffer size classes shared by every data-path
@@ -271,12 +272,54 @@ type SoftNIC struct {
 	// stack's HostLookupPenalty.
 	connMissHook func()
 
-	// Monitor counters (the packet monitor block).
-	RPCsIn   atomic.Uint64
-	RPCsOut  atomic.Uint64
-	BytesIn  atomic.Uint64
-	BytesOut atomic.Uint64
-	Drops    atomic.Uint64
+	// Monitor counters (the packet monitor block). metrics.Counter is a
+	// drop-in for the atomic.Uint64 these grew up as; every NIC registers
+	// them in its metrics registry at creation.
+	RPCsIn   metrics.Counter
+	RPCsOut  metrics.Counter
+	BytesIn  metrics.Counter
+	BytesOut metrics.Counter
+	Drops    metrics.Counter
+
+	reg        *metrics.Registry
+	frameBytes *metrics.Histogram
+}
+
+// Metrics returns the NIC's telemetry registry. Shared-policy families use
+// the cross-substrate names (conn.*, mark.*) so snapshots diff cleanly
+// against the timing stack's nicmodel NIC.
+func (n *SoftNIC) Metrics() *metrics.Registry { return n.reg }
+
+// describeMetrics registers the NIC's counters, cache gauges, and the
+// observed frame-size histogram into reg.
+func (n *SoftNIC) describeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("rpc.in", &n.RPCsIn)
+	reg.RegisterCounter("rpc.out", &n.RPCsOut)
+	reg.RegisterCounter("bytes.in", &n.BytesIn)
+	reg.RegisterCounter("bytes.out", &n.BytesOut)
+	reg.RegisterCounter("drop.ring", &n.Drops)
+	n.frameBytes = reg.Histogram("frame.bytes")
+	reg.Func("mark.rx.stamped", func() int64 { return int64(n.Marks()) })
+	reg.Func("drop.rx.ring", func() int64 {
+		var total uint64
+		for _, fl := range n.flows {
+			total += fl.Dropped()
+		}
+		return int64(total)
+	})
+	reg.Func("conn.hits", func() int64 { return int64(n.ConnStats().Hits) })
+	reg.Func("conn.misses", func() int64 { return int64(n.ConnStats().Misses) })
+	reg.Func("conn.evictions", func() int64 { return int64(n.ConnStats().Evictions) })
+	reg.Func("conn.opens", func() int64 { return int64(n.ConnStats().Opens) })
+	reg.Func("conn.closes", func() int64 { return int64(n.ConnStats().Closes) })
+	reg.Func("conn.open", func() int64 { return int64(n.ConnOpenCount()) })
+	// Every steering lookup is either a cache hit or a backing-store miss;
+	// both substrates derive conn.lookups identically so the family stays
+	// snapshot-comparable.
+	reg.Func("conn.lookups", func() int64 {
+		st := n.ConnStats()
+		return int64(st.Hits + st.Misses)
+	})
 }
 
 // Addr returns the NIC's fabric address.
@@ -448,6 +491,7 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 		}
 		n.RPCsOut.Add(1)
 		n.BytesOut.Add(uint64(len(frame)))
+		n.frameBytes.Observe(int64(len(frame)))
 		err = gw(m.DstAddr, frame)
 		n.fab.pool.Put(frame)
 		return err
@@ -485,6 +529,7 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 	}
 	n.RPCsOut.Add(1)
 	n.BytesOut.Add(uint64(len(frame)))
+	n.frameBytes.Observe(int64(len(frame)))
 	if !fl.deliver(frame, m.Kind == wire.KindResponse) {
 		fl.pool.Put(frame)
 		n.Drops.Add(1)
@@ -634,6 +679,8 @@ func (f *Fabric) CreateNICConns(addr uint32, nflows, ringDepth, connCache int) (
 	for i := 0; i < nflows; i++ {
 		n.flows = append(n.flows, newFlow(ringDepth, f.pool, f.poolCfg))
 	}
+	n.reg = metrics.New()
+	n.describeMetrics(n.reg)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if _, dup := f.nics[addr]; dup {

@@ -1,0 +1,48 @@
+package fabric
+
+import (
+	"dagger/internal/metrics"
+	"dagger/internal/stats"
+	"dagger/internal/wire"
+)
+
+// suggestQuantiles are the frame-size percentiles that become pool size
+// classes: one class sized for each quartile-ish band of the observed
+// traffic, so the common small-RPC frames draw from tight buffers while the
+// tail spills into progressively larger classes. wire.MaxFrameSize is always
+// appended as the terminal class.
+var suggestQuantiles = []float64{25, 50, 75, 90}
+
+// SuggestPoolConfig derives a PoolConfig class ladder from the frame-size
+// histogram in a NIC metrics snapshot (the frame.bytes sample every SoftNIC
+// records on its send path). Each suggested class is the smallest histogram
+// bucket boundary above a suggestQuantiles percentile of the observed
+// frames, so every frame counted at or below that percentile fits the
+// class. Duplicate and oversized boundaries collapse; slot counts stay at
+// the defaults (they provision concurrency, not frame shape). A snapshot
+// with no frame.bytes observations returns DefaultPoolConfig unchanged.
+func SuggestPoolConfig(snap metrics.Snapshot) PoolConfig {
+	cfg := DefaultPoolConfig()
+	sm, ok := snap.Get("frame.bytes")
+	if !ok || sm.Value == 0 || len(sm.Buckets) == 0 {
+		return cfg
+	}
+	var classes []int
+	for _, p := range suggestQuantiles {
+		// Quantile returns the containing bucket's low bound; the next
+		// bucket's low bound is the tightest class that fits everything in
+		// the bucket. frame.bytes is recorded with DefaultSubBits precision.
+		low := sm.Quantile(p)
+		idx := stats.BucketIndex(metrics.DefaultSubBits, low)
+		class := int(stats.BucketLow(metrics.DefaultSubBits, idx+1))
+		if class >= wire.MaxFrameSize {
+			continue
+		}
+		if n := len(classes); n > 0 && classes[n-1] >= class {
+			continue
+		}
+		classes = append(classes, class)
+	}
+	cfg.Classes = append(classes, wire.MaxFrameSize)
+	return cfg
+}

@@ -1,0 +1,87 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+
+	"dagger/internal/metrics"
+	"dagger/internal/wire"
+)
+
+// TestSuggestPoolConfigRoundTrip pins the class-boundary round trip: a
+// workload spread evenly across the default ladder's bands (largest frame in
+// each band, i.e. one byte under each default class) must suggest exactly
+// the default ladder back. 63, 255, 1023, and 4095 sit in buckets whose next
+// boundary is the power of two above them at DefaultSubBits precision, so
+// any drift in the histogram geometry or the quantile→class rounding breaks
+// this test.
+func TestSuggestPoolConfigRoundTrip(t *testing.T) {
+	reg := metrics.New()
+	h := reg.Histogram("frame.bytes")
+	for _, sz := range []int64{63, 255, 1023, 4095} {
+		for i := 0; i < 100; i++ {
+			h.Observe(sz)
+		}
+	}
+	got := SuggestPoolConfig(reg.Snapshot())
+	want := DefaultPoolConfig()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SuggestPoolConfig = %+v, want defaults %+v", got, want)
+	}
+	if err := got.validate(); err != nil {
+		t.Fatalf("suggested config invalid: %v", err)
+	}
+}
+
+// TestSuggestPoolConfigShapes covers the degenerate shapes: no histogram,
+// a single-size workload, and an all-large workload.
+func TestSuggestPoolConfigShapes(t *testing.T) {
+	if got := SuggestPoolConfig(metrics.Snapshot{}); !reflect.DeepEqual(got, DefaultPoolConfig()) {
+		t.Fatalf("empty snapshot: got %+v, want defaults", got)
+	}
+
+	reg := metrics.New()
+	h := reg.Histogram("frame.bytes")
+	for i := 0; i < 50; i++ {
+		h.Observe(63)
+	}
+	got := SuggestPoolConfig(reg.Snapshot())
+	if want := []int{64, wire.MaxFrameSize}; !reflect.DeepEqual(got.Classes, want) {
+		t.Fatalf("uniform small frames: classes %v, want %v", got.Classes, want)
+	}
+	if err := got.validate(); err != nil {
+		t.Fatalf("suggested config invalid: %v", err)
+	}
+
+	reg = metrics.New()
+	h = reg.Histogram("frame.bytes")
+	for i := 0; i < 50; i++ {
+		h.Observe(int64(wire.MaxFrameSize))
+	}
+	got = SuggestPoolConfig(reg.Snapshot())
+	if want := []int{wire.MaxFrameSize}; !reflect.DeepEqual(got.Classes, want) {
+		t.Fatalf("all-max frames: classes %v, want %v", got.Classes, want)
+	}
+	if err := got.validate(); err != nil {
+		t.Fatalf("suggested config invalid: %v", err)
+	}
+}
+
+// TestSuggestPoolConfigFromLiveNIC closes the loop end to end: drive real
+// traffic, feed the NIC's own snapshot to SuggestPoolConfig, and build a
+// fabric from the result.
+func TestSuggestPoolConfigFromLiveNIC(t *testing.T) {
+	_, a, _ := twoNICs(t)
+	for i := 0; i < 32; i++ {
+		if err := a.Send(req(1, 2, 1, 0, "payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := SuggestPoolConfig(a.Metrics().Snapshot())
+	if err := cfg.validate(); err != nil {
+		t.Fatalf("live-traffic suggestion invalid: %v", err)
+	}
+	if _, err := NewFabricPools(cfg); err != nil {
+		t.Fatalf("NewFabricPools(suggested): %v", err)
+	}
+}

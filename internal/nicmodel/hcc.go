@@ -1,6 +1,9 @@
 package nicmodel
 
-import "dagger/internal/sim"
+import (
+	"dagger/internal/metrics"
+	"dagger/internal/sim"
+)
 
 // HCC models the Host Coherent Cache (§4.1): a small direct-mapped cache in
 // the blue bitstream, fully coherent with host memory over CCI-P. The NIC
@@ -12,8 +15,16 @@ type HCC struct {
 	tags     []uint64
 	valid    []bool
 
-	Hits   uint64
-	Misses uint64
+	// Counters are metrics.Counter (atomic) so a registry snapshot taken
+	// from another goroutine never races Access.
+	Hits   metrics.Counter
+	Misses metrics.Counter
+}
+
+// DescribeMetrics registers the cache's hit/miss counters into reg.
+func (h *HCC) DescribeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("hcc.hits", &h.Hits)
+	reg.RegisterCounter("hcc.misses", &h.Misses)
 }
 
 // HCC geometry from the paper: 128 KB direct-mapped, 64 B lines.
@@ -44,10 +55,10 @@ func (h *HCC) Access(addr uint64) sim.Time {
 	line := addr >> h.lineBits
 	idx := line % hccLines
 	if h.valid[idx] && h.tags[idx] == line {
-		h.Hits++
+		h.Hits.Inc()
 		return 0
 	}
-	h.Misses++
+	h.Misses.Inc()
 	h.valid[idx] = true
 	h.tags[idx] = line
 	return HCCMissPenalty
@@ -65,9 +76,10 @@ func (h *HCC) Invalidate(addr uint64) {
 
 // HitRate returns the fraction of accesses that hit.
 func (h *HCC) HitRate() float64 {
-	total := h.Hits + h.Misses
+	hits := h.Hits.Load()
+	total := hits + h.Misses.Load()
 	if total == 0 {
 		return 0
 	}
-	return float64(h.Hits) / float64(total)
+	return float64(hits) / float64(total)
 }

@@ -1,0 +1,102 @@
+package nicmodel
+
+import (
+	"sync"
+	"testing"
+
+	"dagger/internal/interconnect"
+	"dagger/internal/metrics"
+	"dagger/internal/sim"
+)
+
+// TestNICMetricsRegistry checks that the NIC's registry-backed samples
+// agree with the pre-existing getters and monitor fields.
+func TestNICMetricsRegistry(t *testing.T) {
+	eng := sim.NewEngine()
+	n, err := NewNIC(eng, HardConfig{NFlows: 2, ConnCacheSize: 8, Iface: interconnect.Config{Kind: interconnect.UPI, Batch: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Monitor.RPCsIn.Add(3)
+	n.Monitor.Sheds.Add(2)
+	if err := n.CM.Open(1, ConnTuple{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.CM.Lookup(1); err != nil {
+		t.Fatal(err)
+	}
+	n.HCC.Access(0)
+	n.HCC.Access(0)
+	if !n.TX.Enqueue(0, 1, nil) {
+		t.Fatal("enqueue refused")
+	}
+
+	s := n.Metrics().Snapshot()
+	checks := map[string]int64{
+		"rpc.in":        3,
+		"shed.expired":  2,
+		"conn.opens":    int64(n.CM.Stats().Opens),
+		"conn.hits":     int64(n.CM.Stats().Hits),
+		"conn.open":     int64(n.CM.OpenCount()),
+		"hcc.hits":      int64(n.HCC.Hits.Load()),
+		"hcc.misses":    int64(n.HCC.Misses.Load()),
+		"tx.enqueued":   int64(n.TX.Enqueued.Load()),
+		"reconfig.soft": int64(n.Monitor.SoftReconfig.Load()),
+	}
+	for name, want := range checks {
+		if got := s.Value(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// TX gauges must follow a reconfigured (rebuilt) TX path, not the old
+	// instance.
+	soft := n.Soft()
+	soft.Batch = 2
+	if err := n.Reconfigure(soft); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Metrics().Snapshot().Value("tx.enqueued"); got != 0 {
+		t.Fatalf("tx.enqueued after reconfigure = %d, want 0 (fresh TX path)", got)
+	}
+}
+
+// TestCountersSnapshotRace is the mixed atomic/plain access regression test:
+// before the metrics migration, RxPath/TxPath/HCC counters were plain
+// uint64s, so a registry snapshot concurrent with the model would race.
+// Run under -race this pins the fix.
+func TestCountersSnapshotRace(t *testing.T) {
+	rx := NewRxPath(2, 8)
+	tx := NewTxPath(2, 2)
+	hcc := NewHCC()
+	reg := metrics.New()
+	rx.DescribeMetrics(reg)
+	tx.DescribeMetrics(reg)
+	hcc.DescribeMetrics(reg)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			rx.Deliver(RxEntry{RPCID: uint64(i)})
+			rx.Complete(0)
+			if tx.Enqueue(uint16(i%2), uint64(i), nil) {
+				tx.ScheduleBatch(true)
+			}
+			hcc.Access(uint64(i) * 64)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s := reg.Snapshot()
+		if s.Value("rx.received") < 0 {
+			t.Fatal("impossible counter")
+		}
+		_ = hcc.HitRate()
+	}
+	wg.Wait()
+
+	if got := reg.Snapshot().Value("rx.received"); got != int64(rx.Received.Load()) {
+		t.Fatalf("snapshot disagrees with counter at quiescence: %d vs %d", got, rx.Received.Load())
+	}
+}

@@ -2,10 +2,10 @@ package nicmodel
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"dagger/internal/dataplane"
 	"dagger/internal/interconnect"
+	"dagger/internal/metrics"
 	"dagger/internal/sim"
 	"dagger/internal/wire"
 )
@@ -75,17 +75,17 @@ func DefaultPipelineTiming() PipelineTiming {
 }
 
 // PacketMonitor collects the networking statistics block's counters
-// (Figure 6).
+// (Figure 6). metrics.Counter is a drop-in for the atomic.Uint64 these grew
+// up as; every NIC registers them in its metrics registry at creation.
 type PacketMonitor struct {
-	RPCsIn       atomic.Uint64
-	RPCsOut      atomic.Uint64
-	BytesIn      atomic.Uint64
-	BytesOut     atomic.Uint64
-	Drops        atomic.Uint64
-	Sheds        atomic.Uint64
-	ConnLookups  atomic.Uint64
-	BatchesSent  atomic.Uint64
-	SoftReconfig atomic.Uint64
+	RPCsIn       metrics.Counter
+	RPCsOut      metrics.Counter
+	BytesIn      metrics.Counter
+	BytesOut     metrics.Counter
+	Drops        metrics.Counter
+	Sheds        metrics.Counter
+	BatchesSent  metrics.Counter
+	SoftReconfig metrics.Counter
 }
 
 // NIC is one Dagger NIC instance: hard configuration, current soft
@@ -103,8 +103,48 @@ type NIC struct {
 	Monitor  PacketMonitor
 	Timing   PipelineTiming
 
+	reg *metrics.Registry
+
 	// pipe serializes RPC-unit occupancy.
 	pipeBusyUntil sim.Time
+}
+
+// Metrics returns the NIC's telemetry registry. Shared-policy families use
+// the cross-substrate names (conn.*, shed.*, mark.*) so snapshots diff
+// cleanly against the functional fabric's SoftNIC.
+func (n *NIC) Metrics() *metrics.Registry { return n.reg }
+
+// describeMetrics registers the packet-monitor counters plus read-time
+// gauges over the connection manager, HCC, and TX path. TX metrics are
+// gauges closing over n — Reconfigure rebuilds n.TX, and the registry must
+// keep following the live instance.
+func (n *NIC) describeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("rpc.in", &n.Monitor.RPCsIn)
+	reg.RegisterCounter("rpc.out", &n.Monitor.RPCsOut)
+	reg.RegisterCounter("bytes.in", &n.Monitor.BytesIn)
+	reg.RegisterCounter("bytes.out", &n.Monitor.BytesOut)
+	reg.RegisterCounter("drop.ring", &n.Monitor.Drops)
+	reg.RegisterCounter("shed.expired", &n.Monitor.Sheds)
+	reg.RegisterCounter("batch.sent", &n.Monitor.BatchesSent)
+	reg.RegisterCounter("reconfig.soft", &n.Monitor.SoftReconfig)
+	n.HCC.DescribeMetrics(reg)
+	reg.Func("conn.hits", func() int64 { return int64(n.CM.Stats().Hits) })
+	reg.Func("conn.misses", func() int64 { return int64(n.CM.Stats().Misses) })
+	reg.Func("conn.evictions", func() int64 { return int64(n.CM.Stats().Evictions) })
+	reg.Func("conn.opens", func() int64 { return int64(n.CM.Stats().Opens) })
+	reg.Func("conn.closes", func() int64 { return int64(n.CM.Stats().Closes) })
+	reg.Func("conn.open", func() int64 { return int64(n.CM.OpenCount()) })
+	// Every steering lookup is either a cache hit or a backing-store miss;
+	// both substrates derive conn.lookups identically so the family stays
+	// snapshot-comparable.
+	reg.Func("conn.lookups", func() int64 {
+		st := n.CM.Stats()
+		return int64(st.Hits + st.Misses)
+	})
+	reg.Func("tx.enqueued", func() int64 { return int64(n.TX.Enqueued.Load()) })
+	reg.Func("tx.scheduled", func() int64 { return int64(n.TX.Scheduled.Load()) })
+	reg.Func("tx.stalls", func() int64 { return int64(n.TX.Stalls.Load()) })
+	reg.Func("mark.tx.stamped", func() int64 { return int64(n.TX.Marked.Load()) })
 }
 
 // NewNIC builds a NIC from a hard configuration with default soft
@@ -130,6 +170,8 @@ func NewNIC(eng *sim.Engine, hard HardConfig) (*NIC, error) {
 	if err := n.Reconfigure(soft); err != nil {
 		return nil, err
 	}
+	n.reg = metrics.New()
+	n.describeMetrics(n.reg)
 	return n, nil
 }
 

@@ -238,8 +238,8 @@ func TestTxPathBackpressure(t *testing.T) {
 	if tx.Enqueue(0, 3, nil) {
 		t.Fatal("enqueue into full table succeeded")
 	}
-	if tx.Stalls != 1 {
-		t.Fatalf("stalls = %d, want 1", tx.Stalls)
+	if tx.Stalls.Load() != 1 {
+		t.Fatalf("stalls = %d, want 1", tx.Stalls.Load())
 	}
 }
 
@@ -438,8 +438,8 @@ func TestRxPathBatching(t *testing.T) {
 			t.Fatal("completion order broken")
 		}
 	}
-	if rx.Batches != 1 || rx.Delivered != 4 {
-		t.Fatalf("counters: batches=%d delivered=%d", rx.Batches, rx.Delivered)
+	if rx.Batches.Load() != 1 || rx.Delivered.Load() != 4 {
+		t.Fatalf("counters: batches=%d delivered=%d", rx.Batches.Load(), rx.Delivered.Load())
 	}
 }
 
@@ -465,9 +465,9 @@ func TestRxPathOverflowDrops(t *testing.T) {
 		// 3rd entry buffered; 4th would exceed cap (2 pending + ...)
 		t.Log("third buffered without batch")
 	}
-	dropped := rx.Dropped
+	dropped := rx.Dropped.Load()
 	rx.Deliver(RxEntry{RPCID: 4})
-	if rx.Dropped <= dropped {
+	if rx.Dropped.Load() <= dropped {
 		t.Fatal("overflow did not drop")
 	}
 }
@@ -498,8 +498,8 @@ func TestRxPathCongestionMarking(t *testing.T) {
 			t.Fatalf("clean entry %d carries hint %d", i, e.Hint)
 		}
 	}
-	if rx.Marked != capEntries/2 {
-		t.Fatalf("Marked = %d, want %d", rx.Marked, capEntries/2)
+	if rx.Marked.Load() != capEntries/2 {
+		t.Fatalf("Marked = %d, want %d", rx.Marked.Load(), capEntries/2)
 	}
 }
 
@@ -522,8 +522,8 @@ func TestTxPathCongestionMarking(t *testing.T) {
 			}
 		}
 	}
-	if marked != size/2 || tx.Marked != uint64(size/2) {
-		t.Fatalf("marked %d slots (counter %d), want %d", marked, tx.Marked, size/2)
+	if marked != size/2 || tx.Marked.Load() != uint64(size/2) {
+		t.Fatalf("marked %d slots (counter %d), want %d", marked, tx.Marked.Load(), size/2)
 	}
 }
 

@@ -2,6 +2,7 @@ package nicmodel
 
 import (
 	"dagger/internal/dataplane"
+	"dagger/internal/metrics"
 )
 
 // The RX path (Figure 8, §4.4): the NIC's TX FSM places newly received RPC
@@ -30,11 +31,25 @@ type RxPath struct {
 	cap     int
 	pending []RxEntry
 
-	Received  uint64
-	Delivered uint64
-	Dropped   uint64
-	Batches   uint64
-	Marked    uint64 // entries congestion-marked at admission
+	// Counters are metrics.Counter (atomic) so a registry snapshot taken
+	// from another goroutine never races the delivery path.
+	Received  metrics.Counter
+	Delivered metrics.Counter
+	Dropped   metrics.Counter
+	Batches   metrics.Counter
+	Marked    metrics.Counter // entries congestion-marked at admission
+}
+
+// DescribeMetrics registers the RX path's counters into reg. The
+// cross-substrate names (mark.rx.stamped and drop.rx.ring) are gauges here,
+// as on the functional fabric, where they aggregate across flow rings — the
+// kinds must match for whole-snapshot parity diffs.
+func (r *RxPath) DescribeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("rx.received", &r.Received)
+	reg.RegisterCounter("rx.delivered", &r.Delivered)
+	reg.RegisterCounter("rx.batches", &r.Batches)
+	reg.Func("drop.rx.ring", func() int64 { return int64(r.Dropped.Load()) })
+	reg.Func("mark.rx.stamped", func() int64 { return int64(r.Marked.Load()) })
 }
 
 // NewRxPath creates an RX path with batching width B and a buffer of
@@ -61,7 +76,7 @@ func (r *RxPath) Deliver(e RxEntry) (ready bool) {
 	depth := len(r.buf) + len(r.pending)
 	if !dataplane.Admit(depth, r.cap) {
 		if dataplane.DropRefused(dataplane.RxRingOverflow) {
-			r.Dropped++
+			r.Dropped.Inc()
 		}
 		return false
 	}
@@ -71,14 +86,14 @@ func (r *RxPath) Deliver(e RxEntry) (ready bool) {
 	if dataplane.Mark(depth, r.cap) {
 		e.Marked = true
 		e.Hint = dataplane.OccupancyHint(depth, r.cap)
-		r.Marked++
+		r.Marked.Inc()
 	}
 	r.buf = append(r.buf, e)
-	r.Received++
+	r.Received.Inc()
 	if len(r.buf) >= r.batch {
 		r.pending = append(r.pending, r.buf...)
 		r.buf = r.buf[:0]
-		r.Batches++
+		r.Batches.Inc()
 		return true
 	}
 	return false
@@ -92,7 +107,7 @@ func (r *RxPath) Flush() bool {
 	}
 	r.pending = append(r.pending, r.buf...)
 	r.buf = r.buf[:0]
-	r.Batches++
+	r.Batches.Inc()
 	return true
 }
 
@@ -106,7 +121,7 @@ func (r *RxPath) Complete(max int) []RxEntry {
 	out := make([]RxEntry, n)
 	copy(out, r.pending[:n])
 	r.pending = r.pending[n:]
-	r.Delivered += uint64(n)
+	r.Delivered.Add(uint64(n))
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dagger/internal/dataplane"
+	"dagger/internal/metrics"
 )
 
 // The TX path (Figure 9B): instead of buffering whole RPCs in per-flow
@@ -36,10 +37,23 @@ type TxPath struct {
 
 	rrCursor int
 
-	Enqueued  uint64
-	Scheduled uint64
-	Stalls    uint64 // enqueue attempts that found no free slot
-	Marked    uint64 // requests congestion-marked at table admission
+	// Counters are metrics.Counter (atomic) so a registry snapshot taken
+	// from another goroutine never races the enqueue/schedule path.
+	Enqueued  metrics.Counter
+	Scheduled metrics.Counter
+	Stalls    metrics.Counter // enqueue attempts that found no free slot
+	Marked    metrics.Counter // requests congestion-marked at table admission
+}
+
+// DescribeMetrics registers the TX path's counters into reg. The NIC
+// registers equivalent read-time gauges instead (its TxPath is rebuilt on
+// every soft reconfiguration); this direct form serves tests and
+// experiments driving a TxPath standalone.
+func (t *TxPath) DescribeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("tx.enqueued", &t.Enqueued)
+	reg.RegisterCounter("tx.scheduled", &t.Scheduled)
+	reg.RegisterCounter("tx.stalls", &t.Stalls)
+	reg.RegisterCounter("mark.tx.stamped", &t.Marked)
 }
 
 // NewTxPath creates a TX path with batch width B over nflows flows.
@@ -79,7 +93,7 @@ func (t *TxPath) Enqueue(flow uint16, rpcID uint64, data []byte) bool {
 	depth := len(t.table) - len(t.free)
 	if !dataplane.Admit(depth, len(t.table)) {
 		if !dataplane.DropRefused(dataplane.TxTableOverflow) {
-			t.Stalls++
+			t.Stalls.Inc()
 		}
 		return false
 	}
@@ -90,13 +104,13 @@ func (t *TxPath) Enqueue(flow uint16, rpcID uint64, data []byte) bool {
 	var hint uint8
 	if marked {
 		hint = dataplane.OccupancyHint(depth, len(t.table))
-		t.Marked++
+		t.Marked.Inc()
 	}
 	slot := t.free[0]
 	t.free = t.free[1:]
 	t.table[slot] = RequestSlot{Valid: true, RPCID: rpcID, Flow: flow, Data: data, Marked: marked, Hint: hint}
 	t.fifos[flow] = append(t.fifos[flow], slot)
-	t.Enqueued++
+	t.Enqueued.Inc()
 	return true
 }
 
@@ -137,7 +151,7 @@ func (t *TxPath) ScheduleBatch(force bool) (data [][]byte, flow uint16, ok bool)
 			t.free = append(t.free, slot)
 		}
 		t.rrCursor = (f + 1) % t.nflows
-		t.Scheduled += uint64(n)
+		t.Scheduled.Add(uint64(n))
 		return out, uint16(f), true
 	}
 	return nil, 0, false

@@ -1,6 +1,6 @@
 package ringbuf
 
-import "sync/atomic"
+import "dagger/internal/metrics"
 
 // BufPool is a size-classed free list of byte buffers, the software stand-in
 // for the paper's free-buffer FIFOs (§4.4): the data path recycles frame and
@@ -24,8 +24,22 @@ type BufPool struct {
 	// Loan accounting: buffers handed out by Get and relinquished via Put
 	// (whether recycled, spilled, or dropped). At quiescence gets == puts,
 	// which is how tests check that no code path leaks a pooled buffer.
-	gets atomic.Uint64
-	puts atomic.Uint64
+	gets metrics.Counter
+	puts metrics.Counter
+}
+
+// DescribeMetrics registers the pool's loan counters and a parked-buffer
+// occupancy gauge into reg.
+func (p *BufPool) DescribeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("pool.gets", &p.gets)
+	reg.RegisterCounter("pool.puts", &p.puts)
+	reg.Func("pool.occupancy", func() int64 {
+		var parked int64
+		for _, r := range p.rings {
+			parked += int64(r.Len())
+		}
+		return parked
+	})
 }
 
 // Loans returns the number of buffers handed out by Get and relinquished via

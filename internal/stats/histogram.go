@@ -39,25 +39,29 @@ func NewHistogramPrecision(subBits uint) *Histogram {
 	return &Histogram{subBits: subBits, min: math.MaxInt64, max: math.MinInt64}
 }
 
-func (h *Histogram) bucketIndex(v int64) int {
+// BucketIndex returns the bucket holding value v in the log-bucketed
+// geometry with 1<<subBits sub-buckets per power of two. The geometry is
+// shared with internal/metrics, whose fixed-size histograms preallocate
+// NumBuckets counters so the observation path never grows a slice.
+func BucketIndex(subBits uint, v int64) int {
 	if v < 0 {
 		v = 0
 	}
-	sub := int64(1) << h.subBits
+	sub := int64(1) << subBits
 	if v < sub {
 		return int(v)
 	}
 	// Position of the leading bit above the linear range.
 	lead := 63 - leadingZeros64(uint64(v))
-	octave := lead - int(h.subBits)
+	octave := lead - int(subBits)
 	offset := (v >> uint(octave)) - sub // 0..sub-1 within the octave
 	return int(sub) + octave*int(sub) + int(offset)
 }
 
-// bucketLow returns the lowest value mapping to bucket i (inverse of
-// bucketIndex, used for percentile reconstruction).
-func (h *Histogram) bucketLow(i int) int64 {
-	sub := int64(1) << h.subBits
+// BucketLow returns the lowest value mapping to bucket i (the inverse of
+// BucketIndex, used for percentile reconstruction).
+func BucketLow(subBits uint, i int) int64 {
+	sub := int64(1) << subBits
 	if int64(i) < sub {
 		return int64(i)
 	}
@@ -69,6 +73,18 @@ func (h *Histogram) bucketLow(i int) int64 {
 	}
 	return int64(v)
 }
+
+// NumBuckets returns the number of buckets the geometry needs to cover the
+// whole non-negative int64 range at the given precision.
+func NumBuckets(subBits uint) int {
+	return BucketIndex(subBits, math.MaxInt64) + 1
+}
+
+func (h *Histogram) bucketIndex(v int64) int { return BucketIndex(h.subBits, v) }
+
+// bucketLow returns the lowest value mapping to bucket i (inverse of
+// bucketIndex, used for percentile reconstruction).
+func (h *Histogram) bucketLow(i int) int64 { return BucketLow(h.subBits, i) }
 
 func leadingZeros64(x uint64) int {
 	n := 0

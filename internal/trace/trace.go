@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"dagger/internal/metrics"
 	"dagger/internal/sim"
 )
 
@@ -53,6 +54,27 @@ type Collector struct {
 // (0 = unbounded).
 func NewCollector(capTraces int) *Collector {
 	return &Collector{cap: capTraces}
+}
+
+// DescribeMetrics registers read-time gauges over the collector's state:
+// traces begun, retained, and dropped at the retention cap. The collector's
+// own fields stay mutex-guarded; the gauges take the lock at snapshot time.
+func (c *Collector) DescribeMetrics(reg *metrics.Registry) {
+	reg.Func("trace.begun", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.next)
+	})
+	reg.Func("trace.retained", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(len(c.traces))
+	})
+	reg.Func("trace.dropped", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.dropped)
+	})
 }
 
 // Begin starts a new trace and returns its id. Traces beyond the retention

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"dagger/internal/fabric"
+	"dagger/internal/metrics"
 )
 
 // Bridge connects a local fabric to remote peers over a PacketConn: it
@@ -17,10 +18,18 @@ type Bridge struct {
 	routes *RouteTable
 	closed atomic.Bool
 
-	Forwarded atomic.Uint64
-	Injected  atomic.Uint64
-	InjectErr atomic.Uint64
-	NoPeer    atomic.Uint64
+	Forwarded metrics.Counter
+	Injected  metrics.Counter
+	InjectErr metrics.Counter
+	NoPeer    metrics.Counter
+}
+
+// DescribeMetrics registers the bridge's forwarding counters into reg.
+func (b *Bridge) DescribeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("bridge.forwarded", &b.Forwarded)
+	reg.RegisterCounter("bridge.injected", &b.Injected)
+	reg.RegisterCounter("bridge.injecterr", &b.InjectErr)
+	reg.RegisterCounter("bridge.nopeer", &b.NoPeer)
 }
 
 // NewBridge attaches a bridge to fab over conn using routes. The bridge

@@ -4,9 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"dagger/internal/metrics"
 	"dagger/internal/retry"
 )
 
@@ -35,10 +35,18 @@ type Reliable struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	// Counters.
-	Retransmits atomic.Uint64
-	Duplicates  atomic.Uint64
-	GaveUp      atomic.Uint64
+	// Counters. metrics.Counter is a drop-in for the atomic.Uint64 these
+	// grew up as.
+	Retransmits metrics.Counter
+	Duplicates  metrics.Counter
+	GaveUp      metrics.Counter
+}
+
+// DescribeMetrics registers the protocol's reliability counters into reg.
+func (r *Reliable) DescribeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("reliable.retransmits", &r.Retransmits)
+	reg.RegisterCounter("reliable.duplicates", &r.Duplicates)
+	reg.RegisterCounter("reliable.gaveup", &r.GaveUp)
 }
 
 type pendingPkt struct {

@@ -4,6 +4,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"dagger/internal/metrics"
 )
 
 // maxDatagram bounds one UDP payload: a full Dagger frame plus the protocol
@@ -18,8 +20,14 @@ type UDPConn struct {
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 
-	Sent     atomic.Uint64
-	Received atomic.Uint64
+	Sent     metrics.Counter
+	Received metrics.Counter
+}
+
+// DescribeMetrics registers the socket's datagram counters into reg.
+func (u *UDPConn) DescribeMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("udp.sent", &u.Sent)
+	reg.RegisterCounter("udp.received", &u.Received)
 }
 
 // NewUDPConn binds a UDP socket on addr ("127.0.0.1:0" for an ephemeral
