@@ -91,6 +91,23 @@ func TestMetricsAllocFixture(t *testing.T) {
 		filepath.Join("testdata", "metrics", "alloc"), "dagger/internal/metrics/fixture")
 }
 
+// TestFaultsSimFixture pins simdeterminism coverage of the fault-injection
+// policy layer: wall-clock seeds, global-rand verdict draws, and
+// order-sensitive held-frame walks are flagged when attributed to
+// dagger/internal/faults, keeping fault plans replayable.
+func TestFaultsSimFixture(t *testing.T) {
+	RunFixture(t, SimDeterminism,
+		filepath.Join("testdata", "faults", "sim"), "dagger/internal/faults/fixture")
+}
+
+// TestFaultsAllocFixture pins hotpathalloc coverage of the same layer:
+// per-verdict formatting, constant fmt.Errorf, []byte→string conversions,
+// and un-preallocated append loops are flagged there.
+func TestFaultsAllocFixture(t *testing.T) {
+	RunFixture(t, HotPathAlloc,
+		filepath.Join("testdata", "faults", "alloc"), "dagger/internal/faults/fixture")
+}
+
 func TestLockSafetyFixture(t *testing.T) {
 	RunFixture(t, LockSafety, filepath.Join("testdata", "locksafety"), "dagger/internal/core/fixture")
 }
@@ -140,6 +157,8 @@ func TestAnalyzersScopedOut(t *testing.T) {
 		{SimDeterminism, "simdeterminism"},
 		{SimDeterminism, filepath.Join("connstate", "sim")},
 		{HotPathAlloc, filepath.Join("connstate", "alloc")},
+		{SimDeterminism, filepath.Join("faults", "sim")},
+		{HotPathAlloc, filepath.Join("faults", "alloc")},
 		{LockSafety, "locksafety"},
 		{HotPathAlloc, "hotpathalloc"},
 		{ErrCheckLite, "errchecklite"},
@@ -204,6 +223,7 @@ func TestRepoClean(t *testing.T) {
 		"../sim", "../dataplane", "../connstate", "../interconnect", "../nicmodel",
 		"../netmodel", "../microsim", "../experiments", "../overload",
 		"../core", "../transport", "../fabric", "../ringbuf", "../wire",
+		"../faults",
 		"../../examples/quickstart", "../../examples/kvs",
 		"../../examples/flight", "../../examples/socialnet",
 		"../../examples/multitenant",

@@ -29,6 +29,7 @@ var hotScopes = []string{
 	"dagger/internal/transport",
 	"dagger/internal/connstate",
 	"dagger/internal/metrics",
+	"dagger/internal/faults",
 }
 
 // hotFiles extends the scope to individual hot files in wider packages.

@@ -37,6 +37,7 @@ var simScopes = []string{
 	"dagger/internal/microsim",
 	"dagger/internal/experiments",
 	"dagger/internal/metrics",
+	"dagger/internal/faults",
 }
 
 // wallClockFuncs are the time package functions that read or depend on the

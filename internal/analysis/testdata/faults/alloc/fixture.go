@@ -1,0 +1,57 @@
+// Package fixture seeds hotpathalloc violations in fault-injection flavored
+// code. It is loaded by the test harness as if it lived under
+// dagger/internal/faults: the verdict function runs once per admitted frame
+// on both substrates, so a per-verdict allocation here taxes every chaos
+// run's data path.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errRates is the shape the analyzer pushes toward: one allocation at init,
+// comparable with errors.Is, free on every validation.
+var errRates = errors.New("fixture: fault rates exceed the denominator")
+
+func verdictLabel(class uint8) string {
+	return fmt.Sprintf("class-%d", class) // want `fmt\.Sprintf allocates on the hot path`
+}
+
+func validateErr(sum uint64) error {
+	if sum > 1_000_000 {
+		return fmt.Errorf("fixture: fault rates exceed the denominator") // want `constant fmt\.Errorf allocates per call`
+	}
+	return nil
+}
+
+func sentinelOK(sum uint64) error {
+	if sum > 1_000_000 {
+		return errRates
+	}
+	return nil
+}
+
+func frameTag(tag []byte) string {
+	return string(tag) // want `\[\]byte→string conversion allocates`
+}
+
+func collectDropped(frames []uint64, dropped []bool) []uint64 {
+	var drops []uint64
+	for i, f := range frames {
+		if dropped[i] {
+			drops = append(drops, f) // want `append to drops grows an un-preallocated slice`
+		}
+	}
+	return drops
+}
+
+func collectDroppedOK(frames []uint64, dropped []bool) []uint64 {
+	drops := make([]uint64, 0, len(frames))
+	for i, f := range frames {
+		if dropped[i] {
+			drops = append(drops, f)
+		}
+	}
+	return drops
+}

@@ -1,0 +1,49 @@
+// Package fixture seeds simdeterminism violations in fault-injection
+// flavored code. It is loaded by the test harness as if it lived under
+// dagger/internal/faults: the verdict policy feeds both substrates, so a
+// wall-clock read, a global-rand draw, or an order-sensitive map walk here
+// would make fault plans unreplayable and break cross-substrate parity.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clockSeed derives the injection seed from the wall clock: two runs of the
+// same chaos sweep draw different fault plans.
+func clockSeed() uint64 {
+	return uint64(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+}
+
+// globalDraw decides a drop from the global source; verdict sequences
+// diverge across processes and interleavings.
+func globalDraw(ppm uint32) bool {
+	return rand.Intn(1_000_000) < int(ppm) // want `rand\.Intn draws from the global math/rand source`
+}
+
+// seededDraw is the fix: the verdict is a pure function of seed and frame
+// index, replayable from the config alone.
+func seededDraw(seed int64, ppm uint32) bool {
+	return rand.New(rand.NewSource(seed)).Intn(1_000_000) < int(ppm)
+}
+
+// sumHeldDelay folds per-class hold budgets in randomized map order; float
+// rounding makes the total order-dependent.
+func sumHeldDelay(held map[uint64]float64) float64 {
+	var sum float64
+	for _, d := range held { // want `map iteration order is randomized`
+		sum += d
+	}
+	return sum
+}
+
+// countHeldOK is order-invariant: integer counting commutes, so the
+// randomized walk cannot leak.
+func countHeldOK(held map[uint64]uint32) int {
+	n := 0
+	for range held {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"dagger/internal/fabric"
+	"dagger/internal/faults"
+)
+
+// Delivery semantics under duplication, pinned end to end: the fabric is
+// at-least-once (a duplicated request runs the handler again — handlers must
+// be idempotent or deduplicate on their own state, see DESIGN.md §9), while
+// call completion is exactly-once (the client's pending-table match completes
+// each RPC once; the duplicate response is counted Late and its buffer
+// repaid).
+func TestDuplicateDeliveryAtLeastOnce(t *testing.T) {
+	f := fabric.NewFabric()
+	cnic, err := f.CreateNIC(1, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snic, err := f.CreateNIC(2, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(faults.Config{
+		Seed:  3,
+		Rates: faults.Rates{Duplicate: faults.RateDenominator},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every request admitted at the server NIC is delivered twice; responses
+	// come back over the un-faulted client NIC.
+	snic.SetFaultInjector(inj)
+
+	srv := NewRpcThreadedServer(snic, ServerConfig{})
+	if err := srv.Register(0, "echo", func(_ context.Context, req []byte) ([]byte, error) {
+		return req, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	cli, err := NewRpcClient(cnic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.OpenConnection(2); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		resp, err := cli.Call(0, []byte("dup?"))
+		if err != nil {
+			t.Fatalf("call %d under duplication: %v", i, err)
+		}
+		if !bytes.Equal(resp, []byte("dup?")) {
+			t.Fatalf("call %d: resp %q", i, resp)
+		}
+		cli.Release(resp)
+	}
+
+	// At-least-once at the server: every duplicate ran the handler. The
+	// duplicate responses trail their originals, so poll for the steady state.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Handled.Load() == 2*n && cli.Late.Load() == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Handled.Load(); got != 2*n {
+		t.Fatalf("server handled %d requests, want %d (each delivered twice)", got, 2*n)
+	}
+	// Exactly-once completion at the client: one completion per call, the
+	// duplicate response observable only as the call.late counter.
+	if got := cli.Completed.Load(); got != n {
+		t.Fatalf("client completed %d calls, want %d", got, n)
+	}
+	if got := cli.Late.Load(); got != n {
+		t.Fatalf("client late responses = %d, want %d (one per duplicate)", got, n)
+	}
+}

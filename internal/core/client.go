@@ -36,6 +36,14 @@ var (
 	// capped the in-flight count. The request was never sent, so it is
 	// always safe to retry (CallRetry does, with scaled backoff).
 	ErrCongested = errors.New("core: connection congestion window full")
+	// ErrPeerDead reports that the transport layer gave up delivering the
+	// request after exhausting retransmissions: the peer (or the path to it)
+	// is dead, and the synthetic wire.FlagDead response that carries this
+	// verdict let the call fail fast instead of burning its full timeout.
+	// Deliberately NOT retryable via CallRetry — re-sending into a dead path
+	// converts one fast failure into MaxRetries slow ones; callers that want
+	// failover should re-resolve the route first.
+	ErrPeerDead = errors.New("core: peer dead (transport gave up delivery)")
 	// errNoConn is a sentinel: the issue path is allocation-free, so it
 	// must not mint a fresh error per call.
 	errNoConn = errors.New("core: no open connection")
@@ -122,6 +130,13 @@ type RpcClient struct {
 	// connection cache (the echoed wire.FlagConnMiss): nonzero means the
 	// active connection working set no longer fits near memory (§4.2).
 	ConnMisses metrics.Counter
+	// Late counts responses that arrived after their call was abandoned
+	// (timeout/cancel) or that duplicated an already-completed RPC — the
+	// observable trace of the fabric's at-least-once delivery under faults.
+	Late metrics.Counter
+	// PeerDead counts calls failed by a transport dead-letter verdict
+	// (ErrPeerDead).
+	PeerDead metrics.Counter
 
 	reg *metrics.Registry
 }
@@ -136,6 +151,8 @@ func (c *RpcClient) describeMetrics(reg *metrics.Registry) {
 	reg.RegisterCounter("call.timedout", &c.TimedOut)
 	reg.RegisterCounter("call.canceled", &c.Canceled)
 	reg.RegisterCounter("call.refused", &c.Refused)
+	reg.RegisterCounter("call.late", &c.Late)
+	reg.RegisterCounter("call.peerdead", &c.PeerDead)
 	reg.RegisterCounter("mark.echoed", &c.Marks)
 	reg.RegisterCounter("conn.miss.echoed", &c.ConnMisses)
 }
@@ -600,7 +617,11 @@ func (c *RpcClient) recvLoop() {
 		}
 		c.mu.Unlock()
 		if !ok {
-			pool.Put(m.Payload) // late response after timeout
+			// Late response: the call timed out/was canceled, or this is a
+			// duplicate of an already-completed RPC (at-least-once delivery
+			// under fault injection). Repay the loan and count it.
+			c.Late.Add(1)
+			pool.Put(m.Payload)
 			continue
 		}
 		if m.Congested() {
@@ -612,6 +633,12 @@ func (c *RpcClient) recvLoop() {
 		var resp []byte
 		var rerr error
 		switch {
+		case m.Flags&wire.FlagDead != 0:
+			// Synthetic dead-letter response from the transport bridge: the
+			// request was abandoned after exhausting retransmissions.
+			rerr = ErrPeerDead
+			c.PeerDead.Add(1)
+			pool.Put(m.Payload)
 		case m.Flags&flagShed != 0:
 			rerr = ErrShed
 			pool.Put(m.Payload)

@@ -13,7 +13,9 @@ import (
 // provably did not execute, so a retry cannot duplicate side effects. Shed
 // requests never reached a handler; ring-full send failures never left the
 // client; congestion-window refusals were never sent at all. Timeouts are
-// NOT retryable — the handler may have run.
+// NOT retryable — the handler may have run. ErrPeerDead is NOT retryable
+// either: although the request provably never executed, the path to the peer
+// is dead, and retrying converts one fast failure into MaxRetries slow ones.
 func Retryable(err error) bool {
 	return errors.Is(err, ErrShed) || errors.Is(err, fabric.ErrRingFull) ||
 		errors.Is(err, ErrCongested)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -267,6 +268,12 @@ func (s *RpcThreadedServer) dispatchLoop(t *RpcServerThread) {
 			// No completed message; m is zero and Put(nil) is loan-neutral,
 			// so repaying unconditionally keeps the ownership contract
 			// uniform on every continue path.
+			if errors.Is(err, wire.ErrBadChecksum) && s.tracer != nil {
+				// A corrupted request never produces a trace (it is
+				// unattributable); count the drop so a corrupted-traffic
+				// profile is never mistaken for a clean one.
+				s.tracer.NoteCorruptDrop()
+			}
 			pool.Put(m.Payload)
 			continue
 		}

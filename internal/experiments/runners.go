@@ -39,6 +39,7 @@ func Registry() map[string]Runner {
 		"overload":      RunOverload,
 		"congestion":    RunCongestion,
 		"connscale":     RunConnScale,
+		"chaos":         RunChaos,
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 
 	"dagger/internal/connstate"
 	"dagger/internal/dataplane"
+	"dagger/internal/faults"
 	"dagger/internal/metrics"
 	"dagger/internal/ringbuf"
 	"dagger/internal/wire"
@@ -272,6 +273,15 @@ type SoftNIC struct {
 	// stack's HostLookupPenalty.
 	connMissHook func()
 
+	// Chaos plane (internal/faults): an optional deterministic fault stage
+	// at queue admission. faultMu guards the injector and the held-back
+	// Delay/Reorder frames; it also serializes verdict consumption so the
+	// admission index — and therefore the verdict sequence — is
+	// deterministic under a serial driver.
+	faultMu  sync.Mutex
+	injector *faults.Injector
+	delayed  []delayedFrame
+
 	// Monitor counters (the packet monitor block). metrics.Counter is a
 	// drop-in for the atomic.Uint64 these grew up as; every NIC registers
 	// them in its metrics registry at creation.
@@ -281,8 +291,28 @@ type SoftNIC struct {
 	BytesOut metrics.Counter
 	Drops    metrics.Counter
 
+	// Fault-stage counters (fault.* family, cross-substrate names shared
+	// with nicmodel): verdicts executed at this NIC's admission point.
+	// CorruptDrops counts corrupted frames the header checksum caught and
+	// the NIC discarded instead of dispatching; the chaos gates assert it
+	// equals FaultCorrupts (zero escapes).
+	FaultDrops    metrics.Counter
+	FaultDups     metrics.Counter
+	FaultDelays   metrics.Counter
+	FaultCorrupts metrics.Counter
+	CorruptDrops  metrics.Counter
+
 	reg        *metrics.Registry
 	frameBytes *metrics.Histogram
+}
+
+// delayedFrame is a frame the fault stage is holding back; it releases after
+// remaining further admissions at the same NIC.
+type delayedFrame struct {
+	fl         *Flow
+	frame      []byte
+	isResponse bool
+	remaining  uint32
 }
 
 // Metrics returns the NIC's telemetry registry. Shared-policy families use
@@ -298,6 +328,11 @@ func (n *SoftNIC) describeMetrics(reg *metrics.Registry) {
 	reg.RegisterCounter("bytes.in", &n.BytesIn)
 	reg.RegisterCounter("bytes.out", &n.BytesOut)
 	reg.RegisterCounter("drop.ring", &n.Drops)
+	reg.RegisterCounter("fault.dropped", &n.FaultDrops)
+	reg.RegisterCounter("fault.duplicated", &n.FaultDups)
+	reg.RegisterCounter("fault.delayed", &n.FaultDelays)
+	reg.RegisterCounter("fault.corrupted", &n.FaultCorrupts)
+	reg.RegisterCounter("fault.corrupt.dropped", &n.CorruptDrops)
 	n.frameBytes = reg.Histogram("frame.bytes")
 	reg.Func("mark.rx.stamped", func() int64 { return int64(n.Marks()) })
 	reg.Func("drop.rx.ring", func() int64 {
@@ -410,12 +445,142 @@ func (n *SoftNIC) retireConn(src, id uint32) {
 	_ = n.conns.Close(connstate.Key(src, id))
 }
 
-// Close shuts the NIC down and removes it from the fabric.
+// Close shuts the NIC down and removes it from the fabric. Frames the fault
+// stage was still holding go back to their pools — ring consumers are
+// assumed gone — so buffer-loan accounting balances.
 func (n *SoftNIC) Close() {
 	if n.closed.Swap(true) {
 		return
 	}
+	n.faultMu.Lock()
+	for _, d := range n.delayed {
+		d.fl.pool.Put(d.frame)
+	}
+	n.delayed = nil
+	n.faultMu.Unlock()
 	n.fab.remove(n.addr)
+}
+
+// SetFaultInjector installs a deterministic fault stage (internal/faults) at
+// the NIC's queue-admission point; nil uninstalls it. Reconfiguring releases
+// any frames a previous stage was still holding, in hold order, so no pooled
+// buffer is stranded across the switch.
+func (n *SoftNIC) SetFaultInjector(inj *faults.Injector) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	n.flushFaultsLocked()
+	n.injector = inj
+}
+
+// FlushFaults releases every frame the fault stage is holding back (Delay
+// and Reorder verdicts not yet due), delivering them in hold order. Tests
+// and experiments call it when draining a faulted NIC so that ring contents
+// and buffer loans account for every admitted frame.
+func (n *SoftNIC) FlushFaults() {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	n.flushFaultsLocked()
+}
+
+func (n *SoftNIC) flushFaultsLocked() {
+	for _, d := range n.delayed {
+		if !d.fl.deliver(d.frame, d.isResponse) {
+			d.fl.pool.Put(d.frame)
+		}
+	}
+	n.delayed = n.delayed[:0]
+}
+
+// admit is the destination NIC's queue-admission point: the deterministic
+// fault stage (when an injector is installed) ahead of ring delivery. admit
+// owns frame on every path and returns false only when the frame itself was
+// refused by a full ring (after recycling it). Fault-stage losses return
+// true: the sender of a frame the chaos plane ate learns no more than the
+// sender of a frame a real fabric lost.
+func (n *SoftNIC) admit(fl *Flow, frame []byte, isResponse bool) bool {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	if n.injector == nil {
+		if !fl.deliver(frame, isResponse) {
+			fl.pool.Put(frame)
+			return false
+		}
+		return true
+	}
+	v := n.injector.Next()
+	// Age frames held by earlier admissions. They release only after this
+	// admission's own delivery (below), so a Reorder verdict swaps a frame
+	// with its successor rather than riding alongside it.
+	for i := range n.delayed {
+		n.delayed[i].remaining--
+	}
+	ok := true
+	switch v.Class {
+	case faults.Drop:
+		n.FaultDrops.Add(1)
+		fl.pool.Put(frame)
+	case faults.CorruptBit:
+		wire.FlipCoveredBit(frame, v.Arg)
+		n.FaultCorrupts.Add(1)
+		// The header checksum is the hardening under test, so verify for
+		// real rather than assuming: a caught frame is dropped at the NIC,
+		// never dispatched. CRC-8 catches every single covered-bit flip
+		// (the chaos gates assert zero escapes for their seeds).
+		if !wire.VerifyChecksum(frame) {
+			n.CorruptDrops.Add(1)
+			fl.pool.Put(frame)
+		} else if !fl.deliver(frame, isResponse) {
+			fl.pool.Put(frame)
+			ok = false
+		}
+	case faults.Duplicate:
+		// Copy before delivering: ownership of the original transfers to the
+		// ring — and possibly to a concurrent consumer — the moment Push
+		// succeeds.
+		dup := fl.pool.Get(len(frame))
+		copy(dup, frame)
+		if !fl.deliver(frame, isResponse) {
+			fl.pool.Put(frame)
+			ok = false
+		}
+		if fl.deliver(dup, isResponse) {
+			n.FaultDups.Add(1)
+		} else {
+			fl.pool.Put(dup)
+		}
+	case faults.Delay, faults.Reorder:
+		n.FaultDelays.Add(1)
+		rem := v.Arg
+		if rem == 0 {
+			rem = 1
+		}
+		n.delayed = append(n.delayed, delayedFrame{
+			fl: fl, frame: frame, isResponse: isResponse, remaining: rem,
+		})
+	default: // Deliver
+		if !fl.deliver(frame, isResponse) {
+			fl.pool.Put(frame)
+			ok = false
+		}
+	}
+	// Release everything now due, in hold order.
+	if len(n.delayed) > 0 {
+		kept := n.delayed[:0]
+		for _, d := range n.delayed {
+			if d.remaining == 0 {
+				if !d.fl.deliver(d.frame, d.isResponse) {
+					d.fl.pool.Put(d.frame)
+				}
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		for i := len(kept); i < len(n.delayed); i++ {
+			n.delayed[i] = delayedFrame{}
+		}
+		n.delayed = kept
+	}
+	return ok
 }
 
 // pickFlow steers an inbound request to a local flow and reports whether
@@ -530,13 +695,13 @@ func (n *SoftNIC) Send(m *wire.Message) error {
 	n.RPCsOut.Add(1)
 	n.BytesOut.Add(uint64(len(frame)))
 	n.frameBytes.Observe(int64(len(frame)))
-	if !fl.deliver(frame, m.Kind == wire.KindResponse) {
-		fl.pool.Put(frame)
+	size := len(frame)
+	if !dst.admit(fl, frame, m.Kind == wire.KindResponse) {
 		n.Drops.Add(1)
 		return ErrRingFull
 	}
 	dst.RPCsIn.Add(1)
-	dst.BytesIn.Add(uint64(len(frame)))
+	dst.BytesIn.Add(uint64(size))
 	return nil
 }
 
@@ -633,15 +798,15 @@ func (f *Fabric) Inject(frame []byte) error {
 		wire.StampConnMiss(frame)
 	}
 	fl := dst.flows[flow]
-	if !fl.deliver(frame, m.Kind == wire.KindResponse) {
+	size := len(frame)
+	if !dst.admit(fl, frame, m.Kind == wire.KindResponse) {
 		// Count the drop on the destination NIC so cross-host drop
 		// accounting matches the in-process Send path.
-		fl.pool.Put(frame)
 		dst.Drops.Add(1)
 		return ErrRingFull
 	}
 	dst.RPCsIn.Add(1)
-	dst.BytesIn.Add(uint64(len(frame)))
+	dst.BytesIn.Add(uint64(size))
 	return nil
 }
 

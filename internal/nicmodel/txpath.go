@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dagger/internal/dataplane"
+	"dagger/internal/faults"
 	"dagger/internal/metrics"
 )
 
@@ -37,12 +38,36 @@ type TxPath struct {
 
 	rrCursor int
 
+	// Chaos plane (internal/faults): an optional deterministic fault stage
+	// consulted once per Enqueue, mirroring the RX-side stage. Because the
+	// TX table's overflow policy is backpressure (not drop), a held entry
+	// whose release finds the table full is re-held for the next admission
+	// instead of being lost.
+	inj     *faults.Injector
+	delayed []delayedTxEntry
+
 	// Counters are metrics.Counter (atomic) so a registry snapshot taken
 	// from another goroutine never races the enqueue/schedule path.
 	Enqueued  metrics.Counter
 	Scheduled metrics.Counter
 	Stalls    metrics.Counter // enqueue attempts that found no free slot
 	Marked    metrics.Counter // requests congestion-marked at table admission
+
+	// Fault-stage counters (fault.* family, cross-substrate names).
+	FaultDrops    metrics.Counter
+	FaultDups     metrics.Counter
+	FaultDelays   metrics.Counter
+	FaultCorrupts metrics.Counter
+	CorruptDrops  metrics.Counter
+}
+
+// delayedTxEntry is a request the fault stage is holding back; it releases
+// after remaining further Enqueues.
+type delayedTxEntry struct {
+	flow      uint16
+	rpcID     uint64
+	data      []byte
+	remaining uint32
 }
 
 // DescribeMetrics registers the TX path's counters into reg. The NIC
@@ -54,6 +79,15 @@ func (t *TxPath) DescribeMetrics(reg *metrics.Registry) {
 	reg.RegisterCounter("tx.scheduled", &t.Scheduled)
 	reg.RegisterCounter("tx.stalls", &t.Stalls)
 	reg.RegisterCounter("mark.tx.stamped", &t.Marked)
+	// TX-side fault counters get their own prefix: the cross-substrate
+	// fault.* parity names belong to the RX/admission stage (RxPath here,
+	// ring admission on the functional fabric), and both paths may share a
+	// registry.
+	reg.RegisterCounter("fault.tx.dropped", &t.FaultDrops)
+	reg.RegisterCounter("fault.tx.duplicated", &t.FaultDups)
+	reg.RegisterCounter("fault.tx.delayed", &t.FaultDelays)
+	reg.RegisterCounter("fault.tx.corrupted", &t.FaultCorrupts)
+	reg.RegisterCounter("fault.tx.corrupt.dropped", &t.CorruptDrops)
 }
 
 // NewTxPath creates a TX path with batch width B over nflows flows.
@@ -81,15 +115,102 @@ func (t *TxPath) TableSize() int { return len(t.table) }
 // FreeSlots returns the number of free request-table entries.
 func (t *TxPath) FreeSlots() int { return len(t.free) }
 
-// Enqueue stores an RPC into the request table and pushes its slot
-// reference onto the target flow's FIFO. Admission is the dataplane queue
-// policy: with no free slot the request is refused and stays with the
-// producer (dataplane.TxTableOverflow is backpressure — the hardware
-// asserts back-pressure on the RPC unit — so nothing is dropped here).
+// SetFaultInjector installs a deterministic fault stage (internal/faults)
+// ahead of request-table admission; nil uninstalls it. Reconfiguring
+// releases any requests a previous stage was still holding, in hold order.
+func (t *TxPath) SetFaultInjector(inj *faults.Injector) {
+	t.flushFaults()
+	t.inj = inj
+}
+
+// FlushFaults releases every request the fault stage is holding back, in
+// hold order. Requests refused by a full table are lost at this point (the
+// producer that would have absorbed the backpressure is gone); callers drain
+// the scheduler first to avoid that.
+func (t *TxPath) FlushFaults() {
+	t.flushFaults()
+}
+
+func (t *TxPath) flushFaults() {
+	for _, d := range t.delayed {
+		if !t.enqueue(d.flow, d.rpcID, d.data) {
+			t.Stalls.Inc()
+		}
+	}
+	t.delayed = t.delayed[:0]
+}
+
+// Enqueue stores an RPC into the request table, through the fault stage when
+// an injector is installed, and pushes its slot reference onto the target
+// flow's FIFO. Admission is the dataplane queue policy: with no free slot
+// the request is refused and stays with the producer
+// (dataplane.TxTableOverflow is backpressure — the hardware asserts
+// back-pressure on the RPC unit — so nothing is dropped here). Fault-stage
+// losses (Drop, CorruptBit) return true: the producer believes the request
+// was accepted, exactly as with a frame lost past the admission point.
 func (t *TxPath) Enqueue(flow uint16, rpcID uint64, data []byte) bool {
 	if int(flow) >= t.nflows {
 		panic(fmt.Sprintf("nicmodel: flow %d out of range (%d flows)", flow, t.nflows))
 	}
+	if t.inj == nil {
+		return t.enqueue(flow, rpcID, data)
+	}
+	v := t.inj.Next()
+	// Age entries held by earlier Enqueues; releases happen after this
+	// Enqueue's own admission so a Reorder swaps with its successor.
+	for i := range t.delayed {
+		t.delayed[i].remaining--
+	}
+	ok := true
+	switch v.Class {
+	case faults.Drop:
+		t.FaultDrops.Inc()
+	case faults.CorruptBit:
+		// The modelled header-checksum check catches the flip at admission:
+		// counted and discarded, never tabled.
+		t.FaultCorrupts.Inc()
+		t.CorruptDrops.Inc()
+	case faults.Duplicate:
+		ok = t.enqueue(flow, rpcID, data)
+		if t.enqueue(flow, rpcID, data) {
+			t.FaultDups.Inc()
+		}
+	case faults.Delay, faults.Reorder:
+		t.FaultDelays.Inc()
+		rem := v.Arg
+		if rem == 0 {
+			rem = 1
+		}
+		t.delayed = append(t.delayed, delayedTxEntry{
+			flow: flow, rpcID: rpcID, data: data, remaining: rem,
+		})
+	default: // Deliver
+		ok = t.enqueue(flow, rpcID, data)
+	}
+	// Release everything now due, in hold order; a release refused by the
+	// full table re-holds for the next admission (backpressure, not loss).
+	if len(t.delayed) > 0 {
+		kept := t.delayed[:0]
+		for _, d := range t.delayed {
+			if d.remaining == 0 {
+				if !t.enqueue(d.flow, d.rpcID, d.data) {
+					d.remaining = 1
+					kept = append(kept, d)
+				}
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		for i := len(kept); i < len(t.delayed); i++ {
+			t.delayed[i] = delayedTxEntry{}
+		}
+		t.delayed = kept
+	}
+	return ok
+}
+
+// enqueue is request-table admission proper, past the fault stage.
+func (t *TxPath) enqueue(flow uint16, rpcID uint64, data []byte) bool {
 	depth := len(t.table) - len(t.free)
 	if !dataplane.Admit(depth, len(t.table)) {
 		if !dataplane.DropRefused(dataplane.TxTableOverflow) {

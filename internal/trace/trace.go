@@ -48,6 +48,13 @@ type Collector struct {
 	traces  []Trace
 	cap     int
 	dropped uint64
+
+	// corruptDrops counts requests the traced server discarded because their
+	// header failed checksum verification (wire.ErrBadChecksum) — corruption
+	// never produces a trace (the request is unattributable), so the profile
+	// carries the count instead, keeping a corrupted-traffic profile from
+	// being mistaken for a clean one.
+	corruptDrops metrics.Counter
 }
 
 // NewCollector creates a collector retaining at most capTraces traces
@@ -75,7 +82,16 @@ func (c *Collector) DescribeMetrics(reg *metrics.Registry) {
 		defer c.mu.Unlock()
 		return int64(c.dropped)
 	})
+	reg.RegisterCounter("trace.corruptdrop", &c.corruptDrops)
 }
+
+// NoteCorruptDrop records one request discarded at the server for a failed
+// header checksum. Lock-free (the counter is atomic): it sits on the server's
+// frame-drop path.
+func (c *Collector) NoteCorruptDrop() { c.corruptDrops.Inc() }
+
+// CorruptDrops returns the number of checksum-failure drops recorded.
+func (c *Collector) CorruptDrops() uint64 { return c.corruptDrops.Load() }
 
 // Begin starts a new trace and returns its id. Traces beyond the retention
 // cap are not retained (lightweight by design) but are counted: Dropped

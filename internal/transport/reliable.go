@@ -27,19 +27,21 @@ type Reliable struct {
 	maxWnd     float64
 	backoff    retry.Policy
 
-	mu       sync.Mutex
-	tx       map[string]*txSession
-	rx       map[string]*rxSession
-	handler  func([]byte, string)
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	mu         sync.Mutex
+	tx         map[string]*txSession
+	rx         map[string]*rxSession
+	handler    func([]byte, string)
+	deadLetter func(endpoint string, pkt []byte)
+	stop       chan struct{}
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
 
 	// Counters. metrics.Counter is a drop-in for the atomic.Uint64 these
 	// grew up as.
 	Retransmits metrics.Counter
 	Duplicates  metrics.Counter
 	GaveUp      metrics.Counter
+	DeadLetters metrics.Counter
 }
 
 // DescribeMetrics registers the protocol's reliability counters into reg.
@@ -47,6 +49,7 @@ func (r *Reliable) DescribeMetrics(reg *metrics.Registry) {
 	reg.RegisterCounter("reliable.retransmits", &r.Retransmits)
 	reg.RegisterCounter("reliable.duplicates", &r.Duplicates)
 	reg.RegisterCounter("reliable.gaveup", &r.GaveUp)
+	reg.RegisterCounter("reliable.deadletter", &r.DeadLetters)
 }
 
 type pendingPkt struct {
@@ -194,6 +197,19 @@ func (r *Reliable) drainWindow(s *txSession) [][]byte {
 	return out
 }
 
+// SetDeadLetter installs a callback invoked (outside the protocol lock, from
+// the retransmission goroutine) for every packet the protocol abandons after
+// MaxRetries retransmissions. pkt is the original datagram payload as passed
+// to Send — the framing header is stripped. Without a dead-letter hook an
+// abandoned packet vanishes silently and the caller's RPC hangs until its own
+// timeout; with one, the caller can fail the RPC fast (the Bridge turns dead
+// requests into synthetic FlagDead responses so clients see ErrPeerDead).
+func (r *Reliable) SetDeadLetter(fn func(endpoint string, pkt []byte)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deadLetter = fn
+}
+
 // SetHandler installs the deduplicated receive callback.
 func (r *Reliable) SetHandler(h func([]byte, string)) {
 	r.mu.Lock()
@@ -321,34 +337,45 @@ func (r *Reliable) retransmitLoop() {
 	// Reused across ticks so the steady-state retransmit scan is
 	// allocation-free.
 	due := make([]resend, 0, 64)
+	dead := make([]resend, 0, 16)
 	for {
 		select {
 		case <-r.stop:
 			return
 		case now := <-tick.C:
 			due = due[:0]
+			dead = dead[:0]
 			r.mu.Lock()
+			onDead := r.deadLetter
 			for ep, s := range r.tx {
-				timedOut := false
+				retransmitted := false
 				for seq, p := range s.unacked {
 					if now.Before(p.deadline) {
 						continue
 					}
-					timedOut = true
 					p.tries++
 					if p.tries > r.maxRetries {
 						delete(s.unacked, seq)
 						r.GaveUp.Add(1)
+						if onDead != nil {
+							dead = append(dead, resend{ep, p.pkt[9:]})
+						}
 						continue
 					}
 					// Exponential backoff per attempt: the next deadline
 					// stretches with each retransmission of this packet.
+					retransmitted = true
 					p.deadline = now.Add(r.backoff.Backoff(p.tries))
 					r.Retransmits.Add(1)
 					due = append(due, resend{ep, p.pkt})
 				}
-				if timedOut {
-					// Multiplicative decrease on loss.
+				if retransmitted {
+					// Multiplicative decrease on loss — but only when a live
+					// packet was actually retransmitted. A tick that only
+					// abandons packets (give-up storm after a peer death) says
+					// nothing new about path congestion, and halving per tick
+					// would collapse the window to 1 before the peer's
+					// replacement ever saw traffic.
 					s.cwnd /= 2
 					if s.cwnd < 1 {
 						s.cwnd = 1
@@ -361,6 +388,10 @@ func (r *Reliable) retransmitLoop() {
 			r.mu.Unlock()
 			for _, d := range due {
 				_ = r.inner.Send(d.endpoint, d.pkt)
+			}
+			for _, d := range dead {
+				r.DeadLetters.Add(1)
+				onDead(d.endpoint, d.pkt)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -512,4 +513,114 @@ func TestCongestionWindowDrainsQueue(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("only %d of %d delivered through the window", len(got), n)
+}
+
+// ===== Dead-letter plane =====
+
+// A packet the protocol abandons must surface through the dead-letter hook
+// with its original (unframed) payload, not vanish silently.
+func TestDeadLetterCallback(t *testing.T) {
+	net := newMemNet(1.0, 7) // total blackout
+	a := NewReliable(net.conn("a"), ReliableOptions{RTO: 2 * time.Millisecond, MaxRetries: 2})
+	defer a.Close()
+	net.conn("b")
+
+	type deadPkt struct {
+		endpoint string
+		payload  []byte
+	}
+	got := make(chan deadPkt, 1)
+	a.SetDeadLetter(func(ep string, pkt []byte) {
+		cp := make([]byte, len(pkt))
+		copy(cp, pkt)
+		got <- deadPkt{ep, cp}
+	})
+	if err := a.Send("b", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-got:
+		if d.endpoint != "b" || !bytes.Equal(d.payload, []byte("doomed")) {
+			t.Fatalf("dead letter = %q to %q; want original payload to b", d.payload, d.endpoint)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned packet never dead-lettered")
+	}
+	if a.DeadLetters.Load() != 1 || a.GaveUp.Load() != 1 {
+		t.Fatalf("DeadLetters=%d GaveUp=%d, want 1/1", a.DeadLetters.Load(), a.GaveUp.Load())
+	}
+}
+
+// A give-up-only tick says nothing new about congestion: the window halves
+// once per tick that actually retransmitted, and NOT again when the packet is
+// finally abandoned. (Regression: give-up storms used to halve cwnd per tick,
+// collapsing the window to the floor before a replacement peer saw traffic.)
+func TestGiveUpDoesNotCollapseWindow(t *testing.T) {
+	net := newMemNet(1.0, 8) // total blackout
+	a := NewReliable(net.conn("a"), ReliableOptions{
+		RTO: 2 * time.Millisecond, MaxRetries: 1, InitialWindow: 16,
+	})
+	defer a.Close()
+	net.conn("b")
+	if err := a.Send("b", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for a.GaveUp.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if a.GaveUp.Load() != 1 {
+		t.Fatal("sender never gave up")
+	}
+	// Exactly one retransmission happened (MaxRetries=1), so exactly one
+	// multiplicative decrease: 16 -> 8. The buggy behaviour halved again on
+	// the give-up tick, to 4.
+	if w := a.Window("b"); w != 8 {
+		t.Fatalf("window = %.1f after one retransmit + one give-up, want 8", w)
+	}
+}
+
+// End-to-end fail-fast: a call routed into a dead path fails with
+// core.ErrPeerDead as soon as the transport gives up, via the bridge's
+// synthetic FlagDead response — not after the client's full timeout.
+func TestBridgeDeadLetterFailsFast(t *testing.T) {
+	net := newMemNet(1.0, 9) // the peer is unreachable
+	fab := fabric.NewFabric()
+	rel := NewReliable(net.conn("cli"), ReliableOptions{RTO: 2 * time.Millisecond, MaxRetries: 3})
+	b := NewBridge(fab, rel, NewRouteTable(Route{Lo: 100, Hi: 100, Endpoint: "srv"}))
+	defer b.Close()
+	net.conn("srv")
+
+	nic, err := fab.CreateNIC(1, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := core.NewRpcClient(nic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.OpenConnection(100); err != nil {
+		t.Fatal(err)
+	}
+	cli.SetTimeout(30 * time.Second) // the dead-letter must beat this by miles
+
+	start := time.Now()
+	_, err = cli.Call(0, []byte("into the void"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrPeerDead) {
+		t.Fatalf("call into dead path: err = %v, want ErrPeerDead", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("dead-letter verdict took %v; fail-fast path did not engage", elapsed)
+	}
+	if core.Retryable(err) {
+		t.Fatal("ErrPeerDead must not be retryable")
+	}
+	if b.DeadLetters.Load() == 0 {
+		t.Fatal("bridge dead-letter counter not bumped")
+	}
+	if cli.PeerDead.Load() != 1 {
+		t.Fatalf("client PeerDead = %d, want 1", cli.PeerDead.Load())
+	}
 }

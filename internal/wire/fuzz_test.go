@@ -36,6 +36,18 @@ func FuzzUnmarshal(f *testing.F) {
 	missed := append([]byte(nil), good...)
 	StampConnMiss(missed)
 	f.Add(missed)
+	// A pre-checksum frame (byte 37 zeroed) must still decode, unchecked.
+	legacy := append([]byte(nil), good...)
+	legacy[37] = 0
+	f.Add(legacy)
+	// Corrupted-header seeds: a covered-bit flip and a clobbered checksum
+	// byte must both be rejected with ErrBadChecksum, never dispatched.
+	flipped := append([]byte(nil), good...)
+	FlipCoveredBit(flipped, 77)
+	f.Add(flipped)
+	badSum := append([]byte(nil), good...)
+	badSum[37] ^= 0x5A
+	f.Add(badSum)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, consumed, err := Unmarshal(data)

@@ -18,9 +18,10 @@ const CacheLineSize = 64
 // HeaderSize is the encoded size of a message header, at the front of the
 // first cache line. Header v2 grew from 32 to 40 bytes to carry the per-RPC
 // deadline budget; byte 36 has since been claimed from the reserved tail for
-// the congestion occupancy hint (bytes 37-39 remain reserved). Claiming a
-// reserved-zero byte needs no magic bump: frames encoded before the field
-// existed decode with Occupancy 0, i.e. "no hint".
+// the congestion occupancy hint and byte 37 for the header checksum (bytes
+// 38-39 remain reserved). Claiming a reserved-zero byte needs no magic bump:
+// frames encoded before the field existed decode with Occupancy 0 ("no
+// hint") and checksum 0 ("unchecked legacy frame").
 const HeaderSize = 40
 
 // FirstLinePayload is the payload capacity of the first cache line.
@@ -87,6 +88,20 @@ const FlagCongested uint8 = 0x80
 // it stays clear of the stack-level flags in the low bits.
 const FlagConnMiss uint8 = 0x40
 
+// FlagDead is the dead-letter bit in response Flags: set on the synthetic
+// response a transport bridge injects when the reliability protocol gave up
+// delivering the request (every retransmission exhausted). A client seeing
+// it fails the call fast with a peer-dead error instead of burning its full
+// timeout. It lives in the stack-level low bits alongside the error and shed
+// flags owned by internal/core.
+const FlagDead uint8 = 0x04
+
+// stampedFlagsMask covers the Flags bits NIC queues stamp onto frames after
+// marshalling (StampCongestion, StampConnMiss). The header checksum masks
+// them out — along with the occupancy byte the congestion stamp rewrites —
+// so in-flight stamping never invalidates a frame.
+const stampedFlagsMask = FlagCongested | FlagConnMiss
+
 // Header is the fixed-size RPC header.
 type Header struct {
 	Kind      Kind
@@ -140,6 +155,7 @@ var (
 	ErrBadMagic    = errors.New("wire: bad magic")
 	ErrBadKind     = errors.New("wire: bad message kind")
 	ErrTooLarge    = errors.New("wire: payload exceeds MaxPayload")
+	ErrBadChecksum = errors.New("wire: header checksum mismatch")
 )
 
 // MarshalAppend encodes m onto dst, padding to a whole number of cache
@@ -169,7 +185,8 @@ func MarshalAppend(dst []byte, m *Message) ([]byte, error) {
 	binary.LittleEndian.PutUint32(b[28:], m.DstAddr)
 	binary.LittleEndian.PutUint32(b[32:], m.Budget)
 	b[occupancyOffset] = m.Occupancy
-	// b[37:40] reserved, zero.
+	b[checksumOffset] = encodeChecksum(headerChecksum(b))
+	// b[38:40] reserved, zero.
 	copy(b[HeaderSize:], m.Payload)
 	return dst, nil
 }
@@ -177,6 +194,115 @@ func MarshalAppend(dst []byte, m *Message) ([]byte, error) {
 // occupancyOffset is the byte offset of the occupancy hint in an encoded
 // header, shared by MarshalAppend, ParseHeader, and StampCongestion.
 const occupancyOffset = 36
+
+// checksumOffset is the byte offset of the header checksum, claimed from the
+// reserved-zero tail: a CRC-8 over the header with the in-flight-mutable
+// bits masked out. A stored value of 0 means "unchecked legacy frame"
+// (frames encoded before the field existed), so verification skips it and
+// the encoder substitutes checksumZeroValue when the CRC computes to 0.
+const checksumOffset = 37
+
+// checksumZeroValue is stored when the header's CRC-8 computes to 0, keeping
+// 0 free as the legacy "no checksum" sentinel.
+const checksumZeroValue = 0xFF
+
+// crc8Table is the CRC-8 lookup table for the SMBus polynomial x^8+x^2+x+1
+// (0x07), the classic one-byte header CRC.
+var crc8Table = makeCRC8Table()
+
+func makeCRC8Table() [256]byte {
+	var t [256]byte
+	for i := range t {
+		c := byte(i)
+		for b := 0; b < 8; b++ {
+			if c&0x80 != 0 {
+				c = c<<1 ^ 0x07
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}
+
+// headerChecksum computes the CRC-8 of an encoded header. Coverage excludes
+// exactly the bits NIC queues rewrite on already-marshalled frames — the
+// congestion/conn-miss flag bits, the occupancy byte, and the checksum byte
+// itself — so StampCongestion and StampConnMiss never invalidate a frame.
+// Everything else in the header, including the reserved tail, is covered.
+func headerChecksum(b []byte) byte {
+	c := byte(0xFF)
+	for i := 0; i < HeaderSize; i++ {
+		v := b[i]
+		switch i {
+		case 3:
+			v &^= stampedFlagsMask
+		case occupancyOffset, checksumOffset:
+			v = 0
+		}
+		c = crc8Table[c^v]
+	}
+	return c
+}
+
+// encodeChecksum maps a computed CRC to its stored form, keeping 0 reserved
+// for "unchecked legacy frame".
+func encodeChecksum(c byte) byte {
+	if c == 0 {
+		return checksumZeroValue
+	}
+	return c
+}
+
+// VerifyChecksum reports whether a frame's header checksum is consistent:
+// either the legacy 0 ("no checksum", pre-checksum frames pass unchecked) or
+// a stored CRC matching the recomputed one. NIC admission uses it to drop
+// corrupted frames before they reach a ring; ParseHeader applies the same
+// check, so a corrupt frame that slips past a NIC still cannot dispatch.
+func VerifyChecksum(frame []byte) bool {
+	if len(frame) < HeaderSize {
+		return false
+	}
+	stored := frame[checksumOffset]
+	return stored == 0 || stored == encodeChecksum(headerChecksum(frame))
+}
+
+// coveredHeaderBits is the size of the checksum-covered bit region
+// FlipCoveredBit indexes: bytes 0-2, the non-stamped low six bits of the
+// flags byte, bytes 4-35, and the reserved tail bytes 38-39. The occupancy
+// and checksum bytes and the stamped flag bits are excluded — corruption
+// there is outside the checksum contract.
+const coveredHeaderBits = 3*8 + 6 + 32*8 + 2*8
+
+// FlipCoveredBit flips one bit of a frame's checksum-covered header region,
+// selecting the position from bit modulo coveredHeaderBits. It is the
+// CorruptBit fault's mutation: because the flipped bit is always covered,
+// CRC-8's single-bit error detection guarantees VerifyChecksum rejects the
+// frame afterwards (except the 1-in-256 class of frames storing the
+// zero-substitute, where one specific flip position can alias; the chaos
+// gates assert zero escapes for their seeds). Frames too short to hold a
+// header are left untouched.
+func FlipCoveredBit(frame []byte, bit uint32) {
+	if len(frame) < HeaderSize {
+		return
+	}
+	i := int(bit % coveredHeaderBits)
+	var byteIdx, bitIdx int
+	switch {
+	case i < 24: // bytes 0-2
+		byteIdx, bitIdx = i/8, i%8
+	case i < 30: // flags byte, non-stamped bits 0-5
+		byteIdx, bitIdx = 3, i-24
+	case i < 30+32*8: // bytes 4-35
+		j := i - 30
+		byteIdx, bitIdx = 4+j/8, j%8
+	default: // reserved tail, bytes 38-39
+		j := i - (30 + 32*8)
+		byteIdx, bitIdx = 38+j/8, j%8
+	}
+	frame[byteIdx] ^= 1 << bitIdx
+}
 
 // StampCongestion sets the congestion-experienced flag and occupancy hint on
 // an already-marshalled frame, in place. NIC queues mark frames as they
@@ -248,6 +374,12 @@ func ParseHeader(buf []byte) (Header, error) {
 	h.Occupancy = buf[occupancyOffset]
 	if h.Len > MaxPayload {
 		return Header{}, ErrTooLarge
+	}
+	// Checksum last, so malformed-field errors keep their specific identity.
+	// Stored 0 is a pre-checksum frame: decoded unchecked for v1 (of the
+	// 40-byte layout) compatibility.
+	if stored := buf[checksumOffset]; stored != 0 && stored != encodeChecksum(headerChecksum(buf)) {
+		return Header{}, ErrBadChecksum
 	}
 	return h, nil
 }

@@ -164,16 +164,20 @@ func TestCongestionFieldLayout(t *testing.T) {
 		t.Fatalf("congestion fields lost: %+v", got)
 	}
 
-	// A pre-congestion v2 frame left bytes 36..39 zero: it must decode as
-	// unmarked with a zero hint.
+	// An unmarked frame leaves the occupancy byte and the reserved tail zero
+	// (byte 37 now carries the header checksum): it must decode as unmarked
+	// with a zero hint.
 	old := sampleMessage(8)
 	old.Flags = 3
 	old.Occupancy = 0
 	obuf, _ := MarshalAppend(nil, old)
-	for i := 36; i < HeaderSize; i++ {
+	for _, i := range []int{36, 38, 39} {
 		if obuf[i] != 0 {
 			t.Fatalf("byte %d of an unmarked frame = %d, want 0", i, obuf[i])
 		}
+	}
+	if obuf[37] == 0 {
+		t.Fatal("checksum byte 37 not populated")
 	}
 	oh, err := ParseHeader(obuf)
 	if err != nil {
@@ -273,6 +277,109 @@ func TestDisconnectRoundTrip(t *testing.T) {
 	binary.LittleEndian.PutUint16(old, MagicV1)
 	if _, err := ParseHeader(old); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("v1 disconnect frame: %v, want ErrBadMagic", err)
+	}
+}
+
+// TestChecksumFieldLayout pins the header-checksum extension: the CRC lives
+// in reserved byte 37, frames with a zeroed checksum byte (encoded before
+// the field existed) still decode, corruption of any covered header bit is
+// rejected with ErrBadChecksum, and in-flight stamps never invalidate a
+// frame.
+func TestChecksumFieldLayout(t *testing.T) {
+	m := sampleMessage(8)
+	buf, err := MarshalAppend(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[37] == 0 {
+		t.Fatal("checksum byte 37 not populated")
+	}
+	if !VerifyChecksum(buf) {
+		t.Fatal("fresh frame fails verification")
+	}
+	if _, err := ParseHeader(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-checksum frame (byte 37 zero) decodes unchecked.
+	legacy := append([]byte(nil), buf...)
+	legacy[37] = 0
+	if !VerifyChecksum(legacy) {
+		t.Fatal("legacy zero-checksum frame rejected")
+	}
+	lh, err := ParseHeader(legacy)
+	if err != nil {
+		t.Fatalf("legacy frame: %v", err)
+	}
+	if lh.ConnID != m.ConnID || lh.RPCID != m.RPCID {
+		t.Fatalf("legacy frame misdecoded: %+v", lh)
+	}
+
+	// Corrupting a covered field is caught.
+	for _, off := range []int{8, 20, 24, 32, 38} {
+		bad := append([]byte(nil), buf...)
+		bad[off] ^= 0x10
+		if VerifyChecksum(bad) {
+			t.Fatalf("corruption at byte %d passed verification", off)
+		}
+		if _, err := ParseHeader(bad); err != ErrBadChecksum {
+			t.Fatalf("corruption at byte %d: ParseHeader = %v, want ErrBadChecksum", off, err)
+		}
+		if _, _, err := Unmarshal(bad); err != ErrBadChecksum {
+			t.Fatalf("corruption at byte %d: Unmarshal = %v, want ErrBadChecksum", off, err)
+		}
+	}
+
+	// Stamps patch excluded bits/bytes: they must never invalidate a frame.
+	stamped := append([]byte(nil), buf...)
+	StampCongestion(stamped, 210)
+	StampConnMiss(stamped)
+	if !VerifyChecksum(stamped) {
+		t.Fatal("in-flight stamps invalidated the checksum")
+	}
+	if _, err := ParseHeader(stamped); err != nil {
+		t.Fatalf("stamped frame: %v", err)
+	}
+
+	// Short frames fail verification rather than slicing out of range.
+	if VerifyChecksum(buf[:HeaderSize-1]) {
+		t.Fatal("short frame verified")
+	}
+}
+
+// TestFlipCoveredBit pins the CorruptBit mutation contract: every offset
+// (wrapped modulo the covered region) flips exactly one covered bit, the
+// mutation is always caught by verification for these frames, and a second
+// flip at the same offset restores the frame.
+func TestFlipCoveredBit(t *testing.T) {
+	m := sampleMessage(8)
+	buf, _ := MarshalAppend(nil, m)
+	const covered = 3*8 + 6 + 32*8 + 2*8
+	for bit := uint32(0); bit < covered+5; bit++ {
+		frame := append([]byte(nil), buf...)
+		FlipCoveredBit(frame, bit)
+		if bytes.Equal(frame, buf) {
+			t.Fatalf("bit %d: no mutation", bit)
+		}
+		if frame[36] != buf[36] || frame[37] != buf[37] {
+			t.Fatalf("bit %d mutated an excluded byte", bit)
+		}
+		if d := frame[3] ^ buf[3]; d&(FlagCongested|FlagConnMiss) != 0 {
+			t.Fatalf("bit %d mutated a stamped flag bit", bit)
+		}
+		if VerifyChecksum(frame) {
+			t.Fatalf("bit %d: single-bit corruption passed verification", bit)
+		}
+		FlipCoveredBit(frame, bit)
+		if !bytes.Equal(frame, buf) {
+			t.Fatalf("bit %d: double flip did not restore the frame", bit)
+		}
+	}
+	// Too-short frames are left untouched.
+	short := []byte{1, 2, 3}
+	FlipCoveredBit(short, 0)
+	if short[0] != 1 || short[1] != 2 || short[2] != 3 {
+		t.Fatal("short frame mutated")
 	}
 }
 
